@@ -1,0 +1,25 @@
+"""Bench: Sec 6.4 — per-item overhead of each encoding."""
+
+from __future__ import annotations
+
+from _util import report, run_once
+
+from repro.experiments.config import bench_scale
+from repro.experiments.throughput import run_throughput
+
+
+def test_throughput_overheads(benchmark):
+    result = run_once(benchmark, run_throughput, bench_scale())
+    report(result)
+    rows = {row["configuration"]: row for row in result.rows}
+    baseline = rows["read-and-copy"]["seconds"]
+    assert baseline > 0
+    # Ordering the paper reports: initial encoding is the cheapest
+    # watermarking configuration; exhaustive multi-hash the dearest.
+    initial = rows["initial"]["seconds"]
+    random_g2 = rows["multihash-random-g2"]["seconds"]
+    assert initial <= random_g2
+    # The pruned search beats the random search at equal resilience.
+    if "multihash-random-g3" in rows:
+        assert rows["multihash-pruned-g3"]["seconds"] <= \
+            rows["multihash-random-g3"]["seconds"]

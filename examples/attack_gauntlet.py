@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Run the full attack battery against one watermarked stream.
+
+Covers every attack class of paper Sec 2.1 (A1-A3, A5, A6) plus the
+Sec-5 targeted-extreme model, printing detected bias and court
+confidence for each::
+
+    python examples/attack_gauntlet.py
+"""
+
+from __future__ import annotations
+
+from repro import WatermarkParams, detect_best, detect_watermark, watermark_stream
+from repro.attacks import AttackSuite
+from repro.streams import TemperatureSensorGenerator
+
+SECRET_KEY = b"gauntlet-key"
+
+
+def main() -> None:
+    params = WatermarkParams()
+    stream = TemperatureSensorGenerator(eta=100, seed=2004).generate(10000)
+    marked, report = watermark_stream(stream, "1", SECRET_KEY, params=params)
+    clean = detect_watermark(marked, 1, SECRET_KEY, params=params)
+    print(f"clean detection: bias {clean.bias(0)} "
+          f"({clean.votes(0)} votes), confidence {clean.confidence(0):.6f}")
+    print(f"{'attack':<22}{'description':<46}{'bias':>6}{'conf':>10}"
+          f"{'rho':>6}")
+    print("-" * 90)
+
+    for outcome in AttackSuite(seed=17).run(marked):
+        # The transform Mallory applied is unknown: run the paper's
+        # multi-pass offline detection over candidate degrees (rho = 1
+        # for value-only attacks plus the Sec-4.2 subset-shrinkage
+        # estimate) and keep the strongest evidence.
+        detection, rho = detect_best(
+            outcome.values, 1, SECRET_KEY, params=params,
+            reference_subset_size=report.average_subset_size,
+            expected="1")
+        print(f"{outcome.name:<22}{outcome.description:<46}"
+              f"{detection.bias(0):>6}{detection.confidence(0):>10.4f}"
+              f"{rho:>6.1f}")
+
+    print("-" * 90)
+    print("a positive bias with confidence near 1.0 is a court-ready "
+          "proof of ownership (Sec 5)")
+
+
+if __name__ == "__main__":
+    main()

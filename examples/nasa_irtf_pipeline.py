@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""The paper's real-data scenario: a month of telescope-site temperatures.
+
+A data collector watermarks its environmental feed with an ASCII
+copyright payload before licensing it; a customer re-sells a transformed
+copy; the collector proves ownership from the re-sold data alone.
+
+    python examples/nasa_irtf_pipeline.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Normalizer, bits_to_text, detect_watermark, watermark_stream
+from repro.experiments.config import irtf_params
+from repro.streams.nasa import synthetic_irtf_month
+from repro.transforms import segment, uniform_random_sampling
+
+SECRET_KEY = b"irtf-rights-owner-key"
+#: 16 bits: sized to the carrier budget — one month of single-sensor
+#: data carries ~200 bit instances, and a stolen, halved fraction must
+#: still cast several votes per payload bit (Sec 5's segment analysis).
+PAYLOAD = "IC"
+
+
+def main() -> None:
+    # --- the rights owner -------------------------------------------------
+    celsius, meta = synthetic_irtf_month()
+    print(f"dataset: {len(celsius)} readings at "
+          f"{1 / meta.rate_hz:.0f} s cadence "
+          f"({celsius.min():.1f}..{celsius.max():.1f} degC)")
+
+    normalizer = Normalizer(low=0.0, high=35.0)
+    normalized = normalizer.normalize(celsius)
+
+    # Multi-bit payloads need phi > b(wm) (Sec 3.2).
+    params = irtf_params().with_updates(phi=len(PAYLOAD) * 8 + 1)
+    marked, report = watermark_stream(normalized, PAYLOAD, SECRET_KEY,
+                                      params=params)
+    published = normalizer.denormalize(marked)
+    print(f"embedded {report.embedded} bit instances across "
+          f"{report.counters.majors} major extremes")
+    print(f"worst per-reading distortion: "
+          f"{np.max(np.abs(published - celsius)) * 1000:.3f} millidegC")
+
+    # --- the malicious customer -------------------------------------------
+    # Mallory re-sells 60% of the month, sampled down 2x.
+    stolen = segment(published, start=len(published) // 5,
+                     length=int(len(published) * 0.6))
+    stolen = uniform_random_sampling(stolen, degree=2, rng=99)
+    print(f"\nMallory publishes {len(stolen)} readings "
+          f"({100 * len(stolen) / len(published):.0f}% of the month)")
+
+    # --- in court -----------------------------------------------------------
+    # The owner re-normalizes the disputed data and detects.
+    disputed = Normalizer(low=0.0, high=35.0).normalize(stolen)
+    detection = detect_watermark(
+        disputed, len(PAYLOAD) * 8, SECRET_KEY, params=params,
+        transform_degree="auto",
+        reference_subset_size=report.average_subset_size)
+    decoded = bits_to_text(detection.wm_estimate())
+    decided = sum(1 for b in detection.wm_estimate() if b is not None)
+    matched = detection.match_fraction(PAYLOAD)
+    print("\ncourt-time detection:")
+    print(f"  decided bits       : {decided}/{len(PAYLOAD) * 8}")
+    print(f"  decided-bit match  : {matched:.0%}")
+    print(f"  recovered payload  : {decoded!r}")
+    print(f"  total vote bias    : {detection.total_bias}")
+
+
+if __name__ == "__main__":
+    main()

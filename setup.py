@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Metadata lives in pyproject.toml; this file exists so that editable
+installs (``pip install -e .``) work in offline environments without the
+``wheel`` package (pip falls back to the legacy ``setup.py develop``
+path when no ``[build-system]`` table is declared).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,88 @@
+"""repro — resilient rights protection for sensor streams.
+
+A from-scratch Python reproduction of Sion, Atallah & Prabhakar,
+*Resilient Rights Protection for Sensor Streams* (VLDB 2004): resilient
+watermarking of numeric data streams in a single-pass, finite-window
+model, surviving sampling, summarization, segmentation and random
+alteration attacks.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import WatermarkParams, watermark_stream, detect_watermark
+>>> from repro.streams import TemperatureSensorGenerator
+>>> from repro.transforms import uniform_random_sampling
+>>>
+>>> stream = TemperatureSensorGenerator(eta=60, seed=7).generate(6000)
+>>> marked, report = watermark_stream(stream, watermark="1", key=b"k1")
+>>> sampled = uniform_random_sampling(marked, degree=3, rng=0)
+>>> result = detect_watermark(sampled, 1, key=b"k1", transform_degree=3.0)
+>>> result.bias(0) > 0
+True
+
+See README.md for the architecture overview and DESIGN.md for the
+paper-to-module map.
+"""
+
+from repro.core.detector import (
+    DetectionResult,
+    StreamDetector,
+    detect_best,
+    detect_watermark,
+)
+from repro.core.embedder import EmbedReport, StreamWatermarker, watermark_stream
+from repro.core.params import WatermarkParams
+from repro.core.quality import (
+    MaxAlteredFraction,
+    MaxMeanDrift,
+    MaxPerItemChange,
+    MaxStdDrift,
+    QualityMonitor,
+)
+from repro.core.quantize import Quantizer
+from repro.core.watermark import bits_to_bytes, bits_to_text, to_bits
+from repro.errors import (
+    DetectionError,
+    EncodingError,
+    EncodingSearchExhausted,
+    NormalizationError,
+    ParameterError,
+    QualityConstraintViolated,
+    ReproError,
+    StreamError,
+)
+from repro.streams.normalize import Normalizer
+from repro.util.hashing import KeyedHasher
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DetectionResult",
+    "StreamDetector",
+    "detect_best",
+    "detect_watermark",
+    "EmbedReport",
+    "StreamWatermarker",
+    "watermark_stream",
+    "WatermarkParams",
+    "MaxAlteredFraction",
+    "MaxMeanDrift",
+    "MaxPerItemChange",
+    "MaxStdDrift",
+    "QualityMonitor",
+    "Quantizer",
+    "bits_to_bytes",
+    "bits_to_text",
+    "to_bits",
+    "DetectionError",
+    "EncodingError",
+    "EncodingSearchExhausted",
+    "NormalizationError",
+    "ParameterError",
+    "QualityConstraintViolated",
+    "ReproError",
+    "StreamError",
+    "Normalizer",
+    "KeyedHasher",
+    "__version__",
+]

@@ -1,0 +1,31 @@
+"""Analysis helpers: Sec-5 attack mathematics and experiment metrics."""
+
+from repro.analysis.attack_math import (
+    altered_pair_count,
+    attack_success_probability,
+    extra_data_fraction,
+    prob_all_removed,
+    weakening_factor,
+)
+from repro.analysis.metrics import (
+    detected_bias,
+    label_alteration_aligned,
+    label_alteration_fraction,
+    labeled_major_extremes,
+    major_extreme_labels,
+    stream_stat_drift,
+)
+
+__all__ = [
+    "altered_pair_count",
+    "attack_success_probability",
+    "extra_data_fraction",
+    "prob_all_removed",
+    "weakening_factor",
+    "detected_bias",
+    "label_alteration_aligned",
+    "label_alteration_fraction",
+    "labeled_major_extremes",
+    "major_extreme_labels",
+    "stream_stat_drift",
+]

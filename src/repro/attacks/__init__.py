@@ -1,0 +1,35 @@
+"""The adversary: Mallory's attack repertoire (paper Secs 2.1, 4.1, 4.3, 5).
+
+Implementing the attacks — not just the defenses — is what lets the
+test-suite and benchmarks demonstrate the resilience claims:
+
+* :mod:`repro.attacks.epsilon` — uninformed random alteration (A6), the
+  ε-attack of [19] used throughout Sec 6.1;
+* :mod:`repro.attacks.additive` — bounded insertion of plausible values
+  (A5);
+* :mod:`repro.attacks.correlation` — the hash-bucket counting attack of
+  Sec 4.1 that breaks value-derived bit positions;
+* :mod:`repro.attacks.bias_detection` — the subset-consistency attack of
+  Sec 4.3 that breaks the guarded-bit encoding;
+* :mod:`repro.attacks.extreme_attack` — the Sec-5 targeted model
+  (every a1-th extreme, ratio a2 of its radius-a3 subset);
+* :mod:`repro.attacks.suite` — a gauntlet runner for examples/benches.
+"""
+
+from repro.attacks.additive import additive_attack
+from repro.attacks.bias_detection import bias_detection_attack
+from repro.attacks.correlation import CorrelationAttackReport, correlation_attack
+from repro.attacks.epsilon import epsilon_attack
+from repro.attacks.extreme_attack import targeted_extreme_attack
+from repro.attacks.suite import AttackOutcome, AttackSuite
+
+__all__ = [
+    "additive_attack",
+    "bias_detection_attack",
+    "CorrelationAttackReport",
+    "correlation_attack",
+    "epsilon_attack",
+    "targeted_extreme_attack",
+    "AttackOutcome",
+    "AttackSuite",
+]

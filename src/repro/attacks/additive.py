@@ -1,0 +1,76 @@
+"""Value-insertion attack (paper Sec 2.1, attack A5).
+
+Mallory splices new values into the stream.  The paper bounds this
+attack structurally: to preserve the stream's value Mallory can only add
+a *limited amount* of data, and the inserted values must follow a
+*similar distribution* — outliers would be flagged by any consumer
+comparing against the known distribution.  We honour both bounds:
+insertions are drawn from the empirical distribution of the stream
+itself (bootstrap) or from a fitted normal, and the fraction is capped.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.util.rng import make_rng
+from repro.util.validation import as_float_array
+
+_DISTRIBUTIONS = ("local", "empirical", "normal")
+
+
+def additive_attack(values, fraction: float,
+                    rng: "int | np.random.Generator | None" = None,
+                    distribution: str = "local") -> np.ndarray:
+    """Insert ``fraction * n`` plausible values at random positions.
+
+    Parameters
+    ----------
+    fraction:
+        Ratio of inserted items to original items, in (0, 0.5] — the
+        paper's "limited amount" bound.
+    distribution:
+        ``"local"`` (default) interpolates each insertion between its
+        would-be neighbours plus small jitter — the only form that stays
+        plausible on a *smooth* sensor stream, where a globally sampled
+        value spliced into the wrong region is an obvious outlier
+        (exactly the "easy to identify" case the paper's threat model
+        rules out).  ``"empirical"`` bootstraps the observed marginal
+        distribution; ``"normal"`` draws from a fitted gaussian.  Both
+        are kept as stress-test variants: they violate the stream's
+        temporal continuity and are detectable by any consumer.
+
+    Returns the lengthened stream (original order preserved).
+    """
+    array = as_float_array(values, "values")
+    if not 0.0 < fraction <= 0.5:
+        raise ParameterError(
+            f"fraction must be in (0, 0.5] (the paper's limited-addition "
+            f"bound), got {fraction}"
+        )
+    if distribution not in _DISTRIBUTIONS:
+        raise ParameterError(
+            f"unknown distribution {distribution!r}; "
+            f"choose one of {_DISTRIBUTIONS}"
+        )
+    generator = make_rng(rng)
+    n_insert = max(1, int(round(fraction * array.size)))
+    positions = np.sort(generator.integers(0, array.size + 1, size=n_insert))
+    if distribution == "local":
+        left = array[np.clip(positions - 1, 0, array.size - 1)]
+        right = array[np.clip(positions, 0, array.size - 1)]
+        mix = generator.uniform(0.0, 1.0, size=n_insert)
+        jitter_scale = float(np.std(np.diff(array))) if array.size > 1 else 0.0
+        jitter = generator.normal(0.0, 0.25 * jitter_scale or 1e-9,
+                                  size=n_insert)
+        inserted = left * mix + right * (1.0 - mix) + jitter
+        inserted = np.clip(inserted, -0.4999, 0.4999)
+    elif distribution == "empirical":
+        inserted = generator.choice(array, size=n_insert, replace=True)
+    else:
+        inserted = generator.normal(float(np.mean(array)),
+                                    float(np.std(array)) or 1e-6,
+                                    size=n_insert)
+        inserted = np.clip(inserted, -0.4999, 0.4999)
+    return np.insert(array, positions, inserted)

@@ -1,0 +1,70 @@
+"""The ε-attack: uninformed random alteration (paper Sec 6.1, attack A6).
+
+Defined in the authors' earlier relational work [19] and reused here: a
+*uniform altering epsilon-attack* modifies a fraction τ of the input
+items by multiplying each with a value drawn uniformly from
+``(1 + μ - ε, 1 + μ + ε)``:
+
+* τ — fraction of items altered ("2% of data" in Fig 6(b));
+* ε — alteration amplitude (the x-axis of Fig 6, one axis of Fig 7);
+* μ — alteration mean (0 in all of the paper's plots).
+
+The paper notes this closely models (A6), the realistic combination of
+value addition and resampling, and is "often the only available attack
+alternative" for an uninformed Mallory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.util.rng import make_rng
+from repro.util.validation import as_float_array
+
+#: Values are kept strictly inside the normalized open interval after
+#: multiplication; attacks that push data out of its domain would be
+#: trivially detectable (and rejected by any consumer).
+_CLIP = 0.4999
+
+
+def epsilon_attack(values, tau: float, epsilon: float, mu: float = 0.0,
+                   rng: "int | np.random.Generator | None" = None,
+                   clip: bool = True) -> np.ndarray:
+    """Multiply a τ-fraction of items by ``U(1 + μ - ε, 1 + μ + ε)``.
+
+    Parameters
+    ----------
+    values:
+        Normalized stream values.
+    tau:
+        Fraction of items to alter, in [0, 1].
+    epsilon:
+        Amplitude of the multiplicative noise, >= 0.
+    mu:
+        Mean shift of the multiplicative noise.
+    clip:
+        Keep results inside the normalized interval (default True).
+
+    >>> out = epsilon_attack([0.1] * 100, tau=0.5, epsilon=0.2, rng=7)
+    >>> int((out != 0.1).sum()) <= 50
+    True
+    """
+    array = as_float_array(values, "values").copy()
+    if not 0.0 <= tau <= 1.0:
+        raise ParameterError(f"tau must be in [0, 1], got {tau}")
+    if epsilon < 0.0:
+        raise ParameterError(f"epsilon must be >= 0, got {epsilon}")
+    if tau == 0.0 or epsilon == 0.0 and mu == 0.0:
+        return array
+    generator = make_rng(rng)
+    n_altered = int(round(tau * array.size))
+    if n_altered == 0:
+        return array
+    indices = generator.choice(array.size, size=n_altered, replace=False)
+    factors = generator.uniform(1.0 + mu - epsilon, 1.0 + mu + epsilon,
+                                size=n_altered)
+    array[indices] = array[indices] * factors
+    if clip:
+        np.clip(array, -_CLIP, _CLIP, out=array)
+    return array

@@ -1,0 +1,86 @@
+"""The Sec-5 targeted extreme attack model.
+
+Mallory "starts to modify randomly every a1-th (a1 > 1) extreme in such
+a way as to alter a ratio of a2 in (0, 1) of the items in the extreme's
+characteristic subset of radius a3".  The paper analyzes the informed
+case a3 = δ (Mallory knows the radius), which is what we implement —
+strengthening the demonstration, exactly as the paper's analysis does.
+
+Alterations randomize the low bits of the chosen items: the analysis
+assumes the attack does not disturb the labeling scheme (the "greater
+than" relations between extreme magnitudes), which low-bit noise
+respects by construction.  The companion math lives in
+:mod:`repro.analysis.attack_math`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.extremes import find_extremes
+from repro.core.quantize import Quantizer
+from repro.errors import ParameterError
+from repro.util.rng import make_rng
+from repro.util.validation import as_float_array
+
+
+@dataclass
+class ExtremeAttackReport:
+    """How much of the stream the targeted attack touched."""
+
+    extremes_total: int = 0
+    extremes_attacked: int = 0
+    items_altered: int = 0
+
+
+def targeted_extreme_attack(values, a1: int, a2: float,
+                            a3: "float | None" = None,
+                            lsb_bits: int = 16, value_bits: int = 32,
+                            prominence: float = 0.02, delta: float = 0.003,
+                            rng: "int | np.random.Generator | None" = None
+                            ) -> tuple[np.ndarray, ExtremeAttackReport]:
+    """Attack every ``a1``-th extreme's subset (ratio ``a2`` of items).
+
+    Parameters
+    ----------
+    a1:
+        Attack period over the extreme sequence (a1 > 1 per the paper).
+    a2:
+        Fraction of subset items randomized at each attacked extreme.
+    a3:
+        Subset radius Mallory assumes; ``None`` means the informed case
+        a3 = δ.
+    lsb_bits:
+        Width of the randomized low-bit field (Mallory's guess at α).
+    """
+    array = as_float_array(values, "values").copy()
+    if a1 < 2:
+        raise ParameterError(f"a1 must be > 1, got {a1}")
+    if not 0.0 < a2 <= 1.0:
+        raise ParameterError(f"a2 must be in (0, 1], got {a2}")
+    radius = delta if a3 is None else float(a3)
+    if radius <= 0:
+        raise ParameterError(f"a3 must be positive, got {a3}")
+    generator = make_rng(rng)
+    quantizer = Quantizer(value_bits)
+    mask = (1 << lsb_bits) - 1
+    report = ExtremeAttackReport()
+    extremes = find_extremes(array, prominence, radius)
+    report.extremes_total = len(extremes)
+    for ordinal, extreme in enumerate(extremes):
+        if ordinal % a1 != 0:
+            continue
+        report.extremes_attacked += 1
+        indices = list(range(extreme.subset_start, extreme.subset_end + 1))
+        n_alter = max(1, int(round(a2 * len(indices))))
+        chosen = generator.choice(len(indices), size=min(n_alter, len(indices)),
+                                  replace=False)
+        for pick in chosen:
+            idx = indices[int(pick)]
+            q = quantizer.quantize(float(array[idx]))
+            q = (q & ~mask) | int(generator.integers(0, mask + 1))
+            array[idx] = quantizer.dequantize(q)
+            report.items_altered += 1
+    return array, report

@@ -1,0 +1,101 @@
+"""Attack gauntlet: run a named battery of attacks/transforms at once.
+
+Used by the ``attack_gauntlet`` example and the resilience overview in
+EXPERIMENTS.md: one watermarked stream goes in, a dict of attacked
+variants comes out, and the caller detects against each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.attacks.additive import additive_attack
+from repro.attacks.epsilon import epsilon_attack
+from repro.attacks.extreme_attack import targeted_extreme_attack
+from repro.errors import ParameterError
+from repro.transforms.sampling import uniform_random_sampling
+from repro.transforms.segmentation import random_segment
+from repro.transforms.summarization import summarize
+from repro.util.rng import make_rng, split_rng
+
+
+@dataclass(frozen=True)
+class AttackOutcome:
+    """One gauntlet entry: the attacked stream plus a description."""
+
+    name: str
+    values: np.ndarray
+    description: str
+
+
+class AttackSuite:
+    """A reproducible battery covering A1, A2, A3, A5, A6 and Sec 5.
+
+    >>> suite = AttackSuite(seed=11)
+    >>> names = [o.name for o in suite.run([0.1, -0.2, 0.3] * 400)]
+    >>> "sampling-4" in names and "epsilon-50-10" in names
+    True
+    """
+
+    def __init__(self, seed: "int | None" = 2004,
+                 include: "list[str] | None" = None) -> None:
+        self._seed = seed
+        self._registry: dict[str, tuple[str, Callable]] = {}
+        self._register_defaults()
+        if include is not None:
+            unknown = set(include) - set(self._registry)
+            if unknown:
+                raise ParameterError(f"unknown attacks: {sorted(unknown)}")
+            self._registry = {k: v for k, v in self._registry.items()
+                              if k in include}
+
+    def _register_defaults(self) -> None:
+        self._registry = {
+            "sampling-4": (
+                "uniform random sampling, degree 4 (keep 25%)",
+                lambda v, r: uniform_random_sampling(v, 4, rng=r)),
+            "sampling-12": (
+                "uniform random sampling, degree 12 (keep ~8%)",
+                lambda v, r: uniform_random_sampling(v, 12, rng=r)),
+            "summarization-5": (
+                "summarization, degree 5 (keep 20%)",
+                lambda v, r: summarize(v, 5)),
+            "segmentation-40": (
+                "random contiguous segment, 40% of the stream",
+                lambda v, r: random_segment(v, max(2, int(0.4 * len(v))),
+                                            rng=r)),
+            "epsilon-50-10": (
+                "epsilon-attack: tau=50%, epsilon=10%",
+                lambda v, r: epsilon_attack(v, tau=0.5, epsilon=0.1, rng=r)),
+            "epsilon-10-30": (
+                "epsilon-attack: tau=10%, epsilon=30%",
+                lambda v, r: epsilon_attack(v, tau=0.1, epsilon=0.3, rng=r)),
+            "additive-10": (
+                "insert 10% plausible values (A5)",
+                lambda v, r: additive_attack(v, fraction=0.10, rng=r)),
+            "targeted-extremes": (
+                "Sec-5 model: every 5th extreme, half its subset",
+                lambda v, r: targeted_extreme_attack(v, a1=5, a2=0.5,
+                                                     rng=r)[0]),
+        }
+
+    @property
+    def names(self) -> list[str]:
+        """Registered attack identifiers, in execution order."""
+        return list(self._registry)
+
+    def run(self, values) -> list[AttackOutcome]:
+        """Apply every registered attack to an independent copy."""
+        array = np.asarray(values, dtype=np.float64)
+        master = make_rng(self._seed)
+        children = split_rng(master, len(self._registry))
+        outcomes: list[AttackOutcome] = []
+        for (name, (description, attack)), child in zip(
+                self._registry.items(), children):
+            outcomes.append(AttackOutcome(
+                name=name, values=np.asarray(attack(array.copy(), child)),
+                description=description))
+        return outcomes

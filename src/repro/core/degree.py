@@ -1,0 +1,89 @@
+"""Transform-degree estimation and label reconstruction (paper Sec 4.2).
+
+Detection on a sampled/summarized stream must re-identify *major*
+extremes, but majorness is defined against the original stream.  The
+paper's two-stage fix:
+
+1. estimate the degree ρ of the transform that produced the observed
+   stream;
+2. a major extreme of degree σ and radius δ in the original is a major
+   extreme of degree σ/ρ and radius δ in the transformed stream — so
+   detection simply runs with the adjusted degree.
+
+For dynamic streams with known rates, ``ρ = ς / ς'``.  For an isolated
+segment, the paper's method — used "successfully" in their prototype —
+compares the average characteristic-subset size of the original stream
+(a single scalar preserved at embedding time) with the same statistic
+measured on the segment; subsets shrink proportionally to the transform
+degree, so the ratio estimates ρ.
+"""
+
+from __future__ import annotations
+
+from repro.core.extremes import average_subset_size
+from repro.errors import DetectionError, ParameterError
+
+
+def degree_from_rates(original_rate_hz: float,
+                      observed_rate_hz: float) -> float:
+    """``ρ = ς / ς'`` when both stream rates are known (Sec 4.2)."""
+    if original_rate_hz <= 0 or observed_rate_hz <= 0:
+        raise ParameterError("rates must be positive")
+    if observed_rate_hz > original_rate_hz:
+        raise ParameterError(
+            "observed rate exceeds the original: rate-reducing transforms "
+            f"cannot increase ς ({observed_rate_hz} > {original_rate_hz})"
+        )
+    return original_rate_hz / observed_rate_hz
+
+
+def estimate_degree(reference_subset_size: float, observed_values,
+                    prominence: float, delta: float) -> float:
+    """Estimate ρ from characteristic-subset shrinkage (Sec 4.2).
+
+    Parameters
+    ----------
+    reference_subset_size:
+        Average ``|ξ(ε, δ)|`` of the *original* stream, preserved by the
+        embedder (:class:`repro.core.embedder.EmbedReport` records it).
+    observed_values:
+        The (possibly transformed) segment under detection.
+    prominence, delta:
+        The extreme-detection parameters, identical to embedding time.
+
+    Returns
+    -------
+    float:
+        Estimated transform degree, clamped to ``>= 1`` (a degree below
+        one would mean the stream gained resolution, which rate-reducing
+        transforms cannot do).
+    """
+    if reference_subset_size <= 0:
+        raise ParameterError(
+            "reference_subset_size must be positive, got "
+            f"{reference_subset_size}"
+        )
+    observed = average_subset_size(observed_values, prominence, delta)
+    if observed <= 0:
+        raise DetectionError(
+            "no extremes found in the observed segment; cannot estimate "
+            "the transform degree"
+        )
+    return max(1.0, reference_subset_size / observed)
+
+
+def adjusted_sigma(sigma: int, degree: float) -> int:
+    """Majorness degree in the transformed stream: ``max(1, floor(σ/ρ))``.
+
+    Flooring (rather than rounding) matters: an original major extreme
+    with ``|ξ| = σ`` shrinks to about ``σ/ρ`` subset items after a
+    degree-ρ transform, and rounding 1.5 *up* to 2 would reject extremes
+    the embedder labeled — desynchronizing the label chain.  Erring
+    toward inclusiveness keeps embedder and detector extreme sequences
+    aligned; spurious inclusions only add symmetric vote noise.
+    """
+    if sigma < 1:
+        raise ParameterError(f"sigma must be >= 1, got {sigma}")
+    if degree < 1.0:
+        raise ParameterError(f"degree must be >= 1, got {degree}")
+    return max(1, int(sigma / degree))

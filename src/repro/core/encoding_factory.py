@@ -1,0 +1,48 @@
+"""Bit-encoding strategy construction.
+
+The embedder and detector accept either a strategy *name* or a pre-built
+strategy object; the factory keeps the name-to-class mapping in one
+place.  Strategies share the interface::
+
+    embed(q_subset, extreme_offset, label, bit)  -> EmbedOutcome
+    detect(float_subset, extreme_offset, label)  -> Vote
+"""
+
+from __future__ import annotations
+
+from repro.core.encoding_initial import InitialEncoding
+from repro.core.encoding_multihash import MultihashEncoding
+from repro.core.encoding_quadres import QuadResEncoding
+from repro.core.params import WatermarkParams
+from repro.core.quantize import Quantizer
+from repro.errors import ParameterError
+from repro.util.hashing import KeyedHasher
+
+ENCODING_NAMES = ("multihash", "initial", "quadres")
+
+
+def build_encoding(encoding, params: WatermarkParams, quantizer: Quantizer,
+                   hasher: KeyedHasher, **options):
+    """Resolve an encoding name (or pass through a strategy object).
+
+    Options are forwarded to the strategy constructor, e.g.
+    ``build_encoding("multihash", ..., method="random")`` or
+    ``build_encoding("initial", ..., use_label_positions=False)``.
+    """
+    if not isinstance(encoding, str):
+        required = ("embed", "detect")
+        if all(hasattr(encoding, attr) for attr in required):
+            return encoding
+        raise ParameterError(
+            f"encoding object {encoding!r} lacks the strategy interface "
+            f"{required}"
+        )
+    if encoding == "multihash":
+        return MultihashEncoding(params, quantizer, hasher, **options)
+    if encoding == "initial":
+        return InitialEncoding(params, quantizer, hasher, **options)
+    if encoding == "quadres":
+        return QuadResEncoding(params, quantizer, hasher, **options)
+    raise ParameterError(
+        f"unknown encoding {encoding!r}; choose one of {ENCODING_NAMES}"
+    )

@@ -1,0 +1,316 @@
+"""The multi-hash bit encoding (paper Sec 4.3).
+
+For a characteristic subset ``ξ(ε, δ) = {x1 .. xa}`` consider all
+contiguous sub-range averages ``m_ij = mean(x_i .. x_j)``.  The *bit
+encoding convention* declares
+
+* **true**  embedded iff ``lsb(H(lsb(m_ij), label(ε)), ω) == 2^ω - 1``
+* **false** embedded iff ``lsb(H(lsb(m_ij), label(ε)), ω) == 0``
+
+for every *active* ``m_ij``.  Embedding searches the low ``alpha`` bits
+of the subset members until the convention holds; because the search
+target is a hash pattern, the resulting alterations are computationally
+indistinguishable from random noise — defeating the bias-detection
+attack — while any summarized chunk that lands inside the subset *is*
+one of the ``m_ij`` and therefore still testifies at detection time.
+
+Two search procedures are provided:
+
+* ``method="random"`` — the paper's baseline: draw the subset's low bits
+  at random until all active constraints hold.  Expected iterations are
+  ``2^(ω·|active|)`` — exponential, exactly the cost curve of Fig 11(a).
+* ``method="pruned"`` — the "efficient pruned-space algorithm" the paper
+  calls for as future work: fix items left-to-right, backtracking; item
+  ``k`` only has to satisfy the constraints of runs *ending* at ``k``, so
+  the expected cost drops to roughly ``a · 2^(ω·g)`` for run length
+  ``g`` — linear in the subset size.  Candidates are enumerated in order
+  of increasing distance from the original value, implementing the
+  paper's "minimize Euclidean distance from the starting point" aim.
+
+The *active* set implements the computation-reducing technique of
+Sec 4.3: instead of all ``a(a+1)/2`` averages, only runs of length up to
+``active_run_length`` (the *guaranteed resilience*: the summarization /
+sampling degree that is survived by construction) are constrained.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.encoding_initial import EmbedOutcome, Vote
+from repro.core.params import WatermarkParams
+from repro.core.quantize import Quantizer
+from repro.errors import EncodingSearchExhausted, ParameterError
+from repro.util.hashing import KeyedHasher
+from repro.util.rng import make_rng
+
+
+def convention_pattern(key: bytes, avg_key: int, label: int, omega: int,
+                       algorithm: str = "md5") -> int:
+    """Low ``omega`` hash bits deciding an average's testimony.
+
+    This is the hot path of both embedding search and detection, so it
+    hashes a fixed-width packed payload directly instead of going through
+    the generic :func:`repro.util.hashing.H` serializer.  The construction
+    is the same keyed sandwich ``hash(k ; avg_key ; label ; k)``; the
+    label participates as the paper's second hash argument, the secret
+    ``k1`` via ``key``.
+    """
+    payload = (key + avg_key.to_bytes(8, "big")
+               + label.to_bytes(8, "big") + key)
+    digest = hashlib.new(algorithm, payload).digest()
+    return int.from_bytes(digest[-3:], "big") & ((1 << omega) - 1)
+
+
+def active_pairs(size: int, run_length: int) -> list[tuple[int, int]]:
+    """Active sub-ranges: all runs of length 1..run_length (inclusive).
+
+    ``run_length >= size`` yields the paper's full ``a(a+1)/2`` set.
+    """
+    if size < 1:
+        raise ParameterError(f"subset size must be >= 1, got {size}")
+    if run_length < 1:
+        raise ParameterError(f"run_length must be >= 1, got {run_length}")
+    pairs: list[tuple[int, int]] = []
+    for length in range(1, min(run_length, size) + 1):
+        for start in range(0, size - length + 1):
+            pairs.append((start, start + length - 1))
+    return pairs
+
+
+def expected_search_iterations(size: int, run_length: int, omega: int) -> float:
+    """Analytic expected iterations of the random search: ``2^(ω·c)``.
+
+    ``c`` is the number of active constraints.  This is the curve the
+    paper derives in Sec 4.3 ("the expected number of configurations ...
+    is 2^(ω·a(a+1)/2)" for the full set) and plots in Fig 11(a).
+    """
+    c = len(active_pairs(size, run_length))
+    return float(2.0 ** (omega * c))
+
+
+@dataclass(frozen=True)
+class MultihashStats:
+    """Bookkeeping from one embedding search (Fig 11(a)'s metric)."""
+
+    iterations: int
+    hash_evaluations: int
+    constraints: int
+
+
+class MultihashEncoding:
+    """Strategy object for the Sec-4.3 multi-hash scheme."""
+
+    name = "multihash"
+
+    def __init__(self, params: WatermarkParams, quantizer: Quantizer,
+                 hasher: KeyedHasher, method: str = "pruned",
+                 rng: "int | np.random.Generator | None" = None) -> None:
+        if method not in ("pruned", "random"):
+            raise ParameterError(
+                f"method must be 'pruned' or 'random', got {method!r}"
+            )
+        self._params = params
+        self._quantizer = quantizer
+        self._key = hasher.key
+        self._algorithm = hasher.algorithm
+        self._method = method
+        self._rng = make_rng(rng)
+        self.last_stats: "MultihashStats | None" = None
+
+    # ------------------------------------------------------------------
+    def _pattern(self, avg_key: int, label: int) -> int:
+        return convention_pattern(self._key, avg_key, label,
+                                  self._params.omega, self._algorithm)
+
+    def _target(self, bit: bool) -> int:
+        return (1 << self._params.omega) - 1 if bit else 0
+
+    def _trim(self, length: int, extreme_offset: int,
+              cap: int) -> tuple[int, int]:
+        """Window of at most ``cap`` items centred on the extreme."""
+        if length <= cap:
+            return 0, length
+        start = max(0, min(extreme_offset - cap // 2, length - cap))
+        return start, start + cap
+
+    # ------------------------------------------------------------------
+    def embed(self, q_subset: list[int], extreme_offset: int, label: int,
+              bit: bool) -> EmbedOutcome:
+        """Search the subset's low bits until the convention encodes ``bit``.
+
+        Raises :class:`EncodingSearchExhausted` when the iteration cap is
+        reached; the embedder treats that as a skipped extreme.
+        """
+        if not 0 <= extreme_offset < len(q_subset):
+            raise ParameterError(
+                f"extreme_offset {extreme_offset} outside subset of "
+                f"{len(q_subset)}"
+            )
+        start, end = self._trim(len(q_subset), extreme_offset,
+                                self._params.max_subset_embed)
+        working = list(q_subset)
+        segment = working[start:end]
+        target = self._target(bit)
+        if self._method == "pruned":
+            new_segment, stats = self._search_pruned(segment, label, target)
+        else:
+            new_segment, stats = self._search_random(segment, label, target)
+        working[start:end] = new_segment
+        self.last_stats = stats
+        return EmbedOutcome(q_values=working, iterations=stats.iterations)
+
+    # ------------------------------------------------------------------
+    def _search_random(self, q_segment: list[int], label: int,
+                       target: int) -> tuple[list[int], MultihashStats]:
+        """Paper-baseline exhaustive/randomized search (exponential)."""
+        params = self._params
+        size = len(q_segment)
+        pairs = active_pairs(size, params.active_run_length)
+        mask = (1 << params.lsb_bits) - 1
+        highs = [q & ~mask for q in q_segment]
+        floats = np.asarray(self._quantizer.dequantize_array(q_segment),
+                            dtype=np.float64)
+        hash_evals = 0
+        for iteration in range(1, params.max_search_iterations + 1):
+            lows = self._rng.integers(0, mask + 1, size=size)
+            candidate = [highs[i] | int(lows[i]) for i in range(size)]
+            floats = self._quantizer.dequantize_array(candidate)
+            ok = True
+            for (i, j) in pairs:
+                avg_key = self._quantizer.average_key(floats[i:j + 1])
+                hash_evals += 1
+                if self._pattern(avg_key, label) != target:
+                    ok = False
+                    break
+            if ok:
+                stats = MultihashStats(iterations=iteration,
+                                       hash_evaluations=hash_evals,
+                                       constraints=len(pairs))
+                return candidate, stats
+        raise EncodingSearchExhausted(
+            f"random search exhausted {params.max_search_iterations} "
+            f"iterations for {len(pairs)} constraints"
+        )
+
+    # ------------------------------------------------------------------
+    def _candidates_by_distance(self, original_low: int,
+                                limit: int) -> Iterator[int]:
+        """Enumerate low-bit candidates by increasing |candidate - original|.
+
+        Implements the minimize-distance aim: the first satisfying
+        configuration found is also (per item) the closest one.
+        """
+        yield original_low
+        distance = 1
+        while True:
+            emitted = False
+            lower = original_low - distance
+            upper = original_low + distance
+            if lower >= 0:
+                yield lower
+                emitted = True
+            if upper < limit:
+                yield upper
+                emitted = True
+            if not emitted:
+                return
+            distance += 1
+
+    def _search_pruned(self, q_segment: list[int], label: int,
+                       target: int) -> tuple[list[int], MultihashStats]:
+        """Backtracking left-to-right search (linear in subset size)."""
+        params = self._params
+        size = len(q_segment)
+        pairs = active_pairs(size, params.active_run_length)
+        ends_at: list[list[tuple[int, int]]] = [[] for _ in range(size)]
+        for (i, j) in pairs:
+            ends_at[j].append((i, j))
+        mask = (1 << params.lsb_bits) - 1
+        limit = mask + 1
+        highs = [q & ~mask for q in q_segment]
+        original_lows = [q & mask for q in q_segment]
+        candidate = list(q_segment)
+        floats = np.asarray(self._quantizer.dequantize_array(q_segment),
+                            dtype=np.float64)
+
+        iterators: list[Iterator[int]] = [iter(()) for _ in range(size)]
+        iterations = 0
+        hash_evals = 0
+        k = 0
+        iterators[0] = self._candidates_by_distance(original_lows[0], limit)
+        while 0 <= k < size:
+            advanced = False
+            for low in iterators[k]:
+                iterations += 1
+                if iterations > params.max_search_iterations:
+                    raise EncodingSearchExhausted(
+                        f"pruned search exhausted "
+                        f"{params.max_search_iterations} iterations"
+                    )
+                candidate[k] = highs[k] | low
+                floats[k] = self._quantizer.dequantize(candidate[k])
+                ok = True
+                for (i, j) in ends_at[k]:
+                    avg_key = self._quantizer.average_key(floats[i:j + 1])
+                    hash_evals += 1
+                    if self._pattern(avg_key, label) != target:
+                        ok = False
+                        break
+                if ok:
+                    advanced = True
+                    break
+            if advanced:
+                k += 1
+                if k < size:
+                    iterators[k] = self._candidates_by_distance(
+                        original_lows[k], limit)
+            else:
+                # Exhausted this item's space: restore and backtrack.
+                candidate[k] = q_segment[k]
+                floats[k] = self._quantizer.dequantize(candidate[k])
+                k -= 1
+        if k < 0:
+            raise EncodingSearchExhausted(
+                "pruned search backtracked out of the subset "
+                f"({len(pairs)} constraints unsatisfiable in "
+                f"{params.lsb_bits}-bit space)"
+            )
+        stats = MultihashStats(iterations=iterations,
+                               hash_evaluations=hash_evals,
+                               constraints=len(pairs))
+        return candidate, stats
+
+    # ------------------------------------------------------------------
+    def detect(self, float_subset: np.ndarray, extreme_offset: int,
+               label: int) -> Vote:
+        """Count true/false convention hits over the recovered averages.
+
+        Every active sub-range average of the *received* subset is keyed
+        and hashed; matches of the all-ones pattern testify "true",
+        matches of the all-zeroes pattern "false".  On unwatermarked data
+        the two counts are statistically balanced (with ω = 1 every
+        average falls in one of the two classes at random).
+        """
+        if len(float_subset) == 0:
+            raise ParameterError("cannot detect in an empty subset")
+        start, end = self._trim(len(float_subset), extreme_offset,
+                                self._params.max_subset_detect)
+        segment = np.asarray(float_subset[start:end], dtype=np.float64)
+        pairs = active_pairs(len(segment), self._params.active_run_length)
+        true_target = self._target(True)
+        false_target = self._target(False)
+        n_true = 0
+        n_false = 0
+        for (i, j) in pairs:
+            avg_key = self._quantizer.average_key(segment[i:j + 1])
+            pattern = self._pattern(avg_key, label)
+            if pattern == true_target:
+                n_true += 1
+            elif pattern == false_target:
+                n_false += 1
+        return Vote(n_true=n_true, n_false=n_false)

@@ -1,0 +1,198 @@
+"""Quadratic-residue bit encoding (the Sec-4.3 "faster" alternative).
+
+The paper cites Atallah & Wagstaff's quadratic-residue watermarking [1]
+as an arguably faster alternative to the multi-hash convention: alter
+the low bits of a value until *each of the longest k prefixes* of the
+whole value (most significant bits included), treated as an integer, is
+a quadratic residue modulo a secret large prime — for embedding "true" —
+or a non-residue — for "false".
+
+We embed per subset member (every member independently satisfies the
+prefix criterion), so sampling survivors still testify.  Like the
+initial encoding — and unlike the multi-hash — nothing here survives
+summarization: the prefix of an average is unrelated to the members'
+prefixes.  The encoding exists for the speed/resilience trade-off study
+of Sec 6.4.
+
+The secret prime is derived deterministically from the watermarking key
+via Miller–Rabin (deterministic witness set, valid for all 64-bit
+candidates), so embedder and detector agree without sharing extra state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.encoding_initial import EmbedOutcome, Vote
+from repro.core.params import WatermarkParams
+from repro.core.quantize import Quantizer
+from repro.errors import EncodingSearchExhausted, ParameterError
+from repro.util import bitops
+from repro.util.hashing import KeyedHasher
+
+#: Deterministic Miller-Rabin witnesses, sufficient for n < 3.3 * 10^24.
+_MR_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+
+def is_probable_prime(n: int) -> bool:
+    """Deterministic Miller–Rabin for 64-bit-scale integers."""
+    if n < 2:
+        return False
+    small_primes = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+    for p in small_primes:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in _MR_WITNESSES:
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def derive_prime(hasher: KeyedHasher, bits: int = 61) -> int:
+    """Secret prime derived from the watermarking key.
+
+    Starts from the low ``bits`` of ``H("quadres-prime", k1)`` (forced
+    odd, top bit set) and walks upward to the next prime.
+    """
+    if not 40 <= bits <= 62:
+        raise ParameterError(f"prime size must be in [40, 62] bits, got {bits}")
+    seed = hasher.hash_int("quadres-prime")
+    candidate = (seed & ((1 << bits) - 1)) | (1 << (bits - 1)) | 1
+    while not is_probable_prime(candidate):
+        candidate += 2
+    return candidate
+
+
+def is_quadratic_residue(x: int, prime: int) -> bool:
+    """Euler's criterion; 0 is conventionally a non-residue here."""
+    x %= prime
+    if x == 0:
+        return False
+    return pow(x, (prime - 1) // 2, prime) == 1
+
+
+@dataclass(frozen=True)
+class QuadResStats:
+    """Per-subset search bookkeeping (iterations summed over members)."""
+
+    iterations: int
+
+
+class QuadResEncoding:
+    """Strategy object for the quadratic-residue alternative encoding.
+
+    Parameters
+    ----------
+    n_prefixes:
+        The ``k`` of the construction — how many of the longest prefixes
+        must agree.  Expected search cost is ``2^k`` per subset member.
+    """
+
+    name = "quadres"
+
+    def __init__(self, params: WatermarkParams, quantizer: Quantizer,
+                 hasher: KeyedHasher, n_prefixes: int = 3) -> None:
+        if not 1 <= n_prefixes <= params.lsb_bits - 1:
+            raise ParameterError(
+                f"n_prefixes must be in [1, lsb_bits - 1], got {n_prefixes}"
+            )
+        self._params = params
+        self._quantizer = quantizer
+        self._prime = derive_prime(hasher)
+        self._k = n_prefixes
+        self.last_stats: "QuadResStats | None" = None
+
+    # ------------------------------------------------------------------
+    @property
+    def prime(self) -> int:
+        """The derived secret prime (exposed for tests)."""
+        return self._prime
+
+    def _prefixes(self, q: int) -> list[int]:
+        """The longest ``k`` prefixes of the ``value_bits``-wide word."""
+        width = self._params.value_bits
+        return [bitops.msb(q, width - j, width) for j in range(self._k)]
+
+    def _value_matches(self, q: int, bit: bool) -> bool:
+        want = bool(bit)
+        return all(is_quadratic_residue(p, self._prime) == want
+                   for p in self._prefixes(q))
+
+    def _encode_value(self, q: int, bit: bool) -> tuple[int, int]:
+        """Return ``(new_q, iterations)`` for a single subset member."""
+        mask = (1 << self._params.lsb_bits) - 1
+        high = q & ~mask
+        original_low = q & mask
+        limit = mask + 1
+        iterations = 0
+        # Distance-ordered scan of the low-bit space (minimal alteration).
+        for distance in range(0, limit):
+            for low in ({original_low} if distance == 0 else
+                        {original_low - distance, original_low + distance}):
+                if not 0 <= low < limit:
+                    continue
+                iterations += 1
+                if iterations > self._params.max_search_iterations:
+                    raise EncodingSearchExhausted(
+                        "quadratic-residue search exhausted "
+                        f"{self._params.max_search_iterations} iterations"
+                    )
+                candidate = high | low
+                if self._value_matches(candidate, bit):
+                    return candidate, iterations
+        raise EncodingSearchExhausted(
+            f"no low-bit configuration satisfies {self._k} prefixes"
+        )
+
+    # ------------------------------------------------------------------
+    def embed(self, q_subset: list[int], extreme_offset: int, label: int,
+              bit: bool) -> EmbedOutcome:
+        """Encode ``bit`` independently into every subset member.
+
+        ``label`` is unused by this encoding (the prefix criterion is
+        self-contained) but kept for strategy-interface uniformity.
+        """
+        if not 0 <= extreme_offset < len(q_subset):
+            raise ParameterError(
+                f"extreme_offset {extreme_offset} outside subset of "
+                f"{len(q_subset)}"
+            )
+        total_iterations = 0
+        new_values: list[int] = []
+        for q in q_subset:
+            new_q, iterations = self._encode_value(q, bit)
+            new_values.append(new_q)
+            total_iterations += iterations
+        self.last_stats = QuadResStats(iterations=total_iterations)
+        return EmbedOutcome(q_values=new_values, iterations=total_iterations)
+
+    def detect(self, float_subset: np.ndarray, extreme_offset: int,
+               label: int) -> Vote:
+        """Vote per member: all-residue => true, all-non-residue => false."""
+        if len(float_subset) == 0:
+            raise ParameterError("cannot detect in an empty subset")
+        n_true = 0
+        n_false = 0
+        for value in float_subset:
+            q = self._quantizer.quantize(float(value))
+            if self._value_matches(q, True):
+                n_true += 1
+            elif self._value_matches(q, False):
+                n_false += 1
+        return Vote(n_true=n_true, n_false=n_false)

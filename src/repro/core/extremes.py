@@ -1,0 +1,263 @@
+"""Extremes, characteristic subsets, and majorness (paper Sec 2.2).
+
+An *extreme* is a local minimum or maximum of the stream.  Its
+*characteristic subset of radius δ*, ``ξ(ε, δ)``, is the contiguous run
+of items around the extreme whose values stay within δ of the extreme's
+value.  A *major extreme of degree σ and radius δ* is one whose subset is
+fat enough that some member survives any uniform sampling of degree σ —
+operationally ``|ξ(ε, δ)| >= σ`` (with the paper's optional relaxation:
+subsets smaller than σ are accepted when ``|ξ|/σ`` exceeds a survival
+ratio, Sec 3.2).
+
+Extreme *detection* here is a prominence-gated zigzag: a candidate
+becomes a confirmed extreme only once the stream has moved at least
+``prominence`` away from it in the opposite direction.  The paper keeps
+this filter implicit (its streams had controlled fluctuation η(σ, δ));
+making it explicit is what keeps the extreme sequence stable on noisy
+data and under the small value perturbations introduced by embedding —
+alterations are confined to the low ``alpha`` bits, orders of magnitude
+below any sensible prominence, so embedder and detector agree on the
+extreme sequence.
+
+The zigzag supports *stateful continuation* (:class:`ZigzagState`): the
+single-pass embedder advances its window past each processed extreme and
+resumes the scan mid-slope; continuation reproduces exactly the pivots a
+whole-array scan would find, which the property-based test-suite checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.util.validation import as_float_array
+
+#: Kind markers for extremes.
+MAXIMUM = 1
+MINIMUM = -1
+
+
+@dataclass(frozen=True)
+class Extreme:
+    """A confirmed stream extreme with its characteristic subset.
+
+    Indices are *absolute* stream positions (the embedder adds its window
+    offset), ``subset_start``/``subset_end`` are inclusive bounds of
+    ``ξ(ε, δ)``.
+    """
+
+    index: int
+    value: float
+    kind: int
+    subset_start: int
+    subset_end: int
+
+    @property
+    def subset_size(self) -> int:
+        """Number of items in the characteristic subset, ``|ξ(ε, δ)|``."""
+        return self.subset_end - self.subset_start + 1
+
+    def is_major(self, sigma: int, relaxation: float = 1.0) -> bool:
+        """Majorness test of degree ``sigma``.
+
+        With ``relaxation == 1.0`` this is the strict ``|ξ| >= σ`` rule;
+        smaller values implement the paper's fallback ("subsets smaller
+        than σ that guarantee an acceptable chance of survival, e.g.
+        ``|ξ|/σ > 70%``").
+        """
+        if sigma < 1:
+            raise ParameterError(f"sigma must be >= 1, got {sigma}")
+        if not 0.0 < relaxation <= 1.0:
+            raise ParameterError(
+                f"relaxation must be in (0, 1], got {relaxation}"
+            )
+        return self.subset_size >= sigma * relaxation
+
+
+@dataclass
+class ZigzagState:
+    """Resumable scan state: current trend and best candidate so far.
+
+    ``trend`` is 0 while the initial direction is unknown, else
+    ``MAXIMUM``/``MINIMUM`` meaning "currently tracking a candidate of
+    that kind".  Candidates store absolute indices.  ``origin`` records
+    the first index ever seen by this scan so that the boundary item of
+    a fresh scan is never reported as an extreme (a monotone stream has
+    no extremes, even though its first item is technically a running
+    min/max).
+    """
+
+    trend: int = 0
+    max_index: int = 0
+    max_value: float = float("-inf")
+    min_index: int = 0
+    min_value: float = float("inf")
+    origin: "int | None" = None
+
+    @classmethod
+    def fresh(cls) -> "ZigzagState":
+        """State for a scan starting with unknown direction."""
+        return cls()
+
+    @classmethod
+    def after_extreme(cls, extreme_kind: int, next_index: int,
+                      next_value: float) -> "ZigzagState":
+        """State for resuming just past a confirmed extreme.
+
+        After a maximum the stream is descending, so the scan tracks a
+        minimum candidate (and vice versa).
+        """
+        if extreme_kind == MAXIMUM:
+            return cls(trend=MINIMUM, min_index=next_index,
+                       min_value=next_value,
+                       max_index=next_index, max_value=next_value)
+        if extreme_kind == MINIMUM:
+            return cls(trend=MAXIMUM, max_index=next_index,
+                       max_value=next_value,
+                       min_index=next_index, min_value=next_value)
+        raise ParameterError(f"extreme_kind must be +-1, got {extreme_kind}")
+
+
+def zigzag_pivots(values: np.ndarray, prominence: float,
+                  state: "ZigzagState | None" = None,
+                  offset: int = 0) -> tuple[list[tuple[int, int]], ZigzagState]:
+    """Confirmed alternating pivots of ``values``.
+
+    Parameters
+    ----------
+    values:
+        The scan range (e.g. the current window contents).
+    prominence:
+        Minimum counter-move that confirms a pivot.
+    state:
+        Resumable scan state; ``None`` starts a fresh scan.
+    offset:
+        Absolute index of ``values[0]`` (pivot indices are absolute).
+
+    Returns
+    -------
+    (pivots, state):
+        ``pivots`` — list of ``(absolute_index, kind)`` confirmed within
+        this range; ``state`` — continuation state for the next range.
+    """
+    if prominence <= 0:
+        raise ParameterError(f"prominence must be positive, got {prominence}")
+    st = state if state is not None else ZigzagState.fresh()
+    if st.origin is None:
+        st.origin = offset
+    pivots: list[tuple[int, int]] = []
+    for local_i, v in enumerate(values):
+        i = offset + local_i
+        v = float(v)
+        if st.trend == 0:
+            if v > st.max_value:
+                st.max_index, st.max_value = i, v
+            if v < st.min_value:
+                st.min_index, st.min_value = i, v
+            if st.max_value - v >= prominence:
+                if st.max_index != st.origin:
+                    pivots.append((st.max_index, MAXIMUM))
+                st.trend = MINIMUM
+                st.min_index, st.min_value = i, v
+            elif v - st.min_value >= prominence:
+                if st.min_index != st.origin:
+                    pivots.append((st.min_index, MINIMUM))
+                st.trend = MAXIMUM
+                st.max_index, st.max_value = i, v
+        elif st.trend == MAXIMUM:
+            if v > st.max_value:
+                st.max_index, st.max_value = i, v
+            elif st.max_value - v >= prominence:
+                pivots.append((st.max_index, MAXIMUM))
+                st.trend = MINIMUM
+                st.min_index, st.min_value = i, v
+        else:  # tracking a minimum candidate
+            if v < st.min_value:
+                st.min_index, st.min_value = i, v
+            elif v - st.min_value >= prominence:
+                pivots.append((st.min_index, MINIMUM))
+                st.trend = MAXIMUM
+                st.max_index, st.max_value = i, v
+    return pivots, st
+
+
+def characteristic_subset(values: np.ndarray, index: int,
+                          delta: float) -> tuple[int, int]:
+    """Inclusive bounds of ``ξ(ε, δ)`` around ``values[index]``.
+
+    Expands left and right while items stay within ``delta`` of the
+    extreme's value; contiguity is inherent to the expansion (paper's
+    "all the items between i and the extreme also belong").
+    """
+    if delta <= 0:
+        raise ParameterError(f"delta must be positive, got {delta}")
+    n = len(values)
+    if not 0 <= index < n:
+        raise ParameterError(f"extreme index {index} outside array of {n}")
+    center = float(values[index])
+    start = index
+    while start > 0 and abs(float(values[start - 1]) - center) < delta:
+        start -= 1
+    end = index
+    while end < n - 1 and abs(float(values[end + 1]) - center) < delta:
+        end += 1
+    return start, end
+
+
+def find_extremes(values, prominence: float, delta: float,
+                  offset: int = 0) -> list[Extreme]:
+    """All confirmed extremes of an array, with characteristic subsets.
+
+    Offline counterpart of the embedder's windowed scan; used by the
+    detector (which is allowed to buffer a segment) and by experiments.
+    """
+    array = as_float_array(values, "values")
+    pivots, _ = zigzag_pivots(array, prominence)
+    out: list[Extreme] = []
+    for absolute_index, kind in pivots:
+        local = absolute_index  # offset applied only to reported indices
+        start, end = characteristic_subset(array, local, delta)
+        out.append(Extreme(index=absolute_index + offset,
+                           value=float(array[local]), kind=kind,
+                           subset_start=start + offset,
+                           subset_end=end + offset))
+    return out
+
+
+def find_major_extremes(values, prominence: float, delta: float,
+                        sigma: int, relaxation: float = 1.0,
+                        offset: int = 0) -> list[Extreme]:
+    """Extremes passing the majorness test of degree ``sigma``."""
+    return [e for e in find_extremes(values, prominence, delta, offset)
+            if e.is_major(sigma, relaxation)]
+
+
+def average_subset_size(values, prominence: float, delta: float) -> float:
+    """Mean ``|ξ(ε, δ)|`` over all extremes of the array.
+
+    This is the stream statistic the degree-estimation procedure
+    (Sec 4.2) preserves from the original stream: transformed streams
+    have proportionally thinner subsets, and the ratio estimates the
+    transform degree ρ.  Returns 0.0 when the array has no confirmed
+    extremes.
+    """
+    extremes = find_extremes(values, prominence, delta)
+    if not extremes:
+        return 0.0
+    return float(np.mean([e.subset_size for e in extremes]))
+
+
+def estimate_eta(values, prominence: float, delta: float,
+                 sigma: int, relaxation: float = 1.0) -> float:
+    """Measured ``η(σ, δ)``: items per major extreme.
+
+    Returns ``inf`` when the array contains no major extreme (useful for
+    calibration sweeps that probe overly strict parameters).
+    """
+    array = as_float_array(values, "values")
+    majors = find_major_extremes(array, prominence, delta, sigma, relaxation)
+    if not majors:
+        return float("inf")
+    return array.size / len(majors)

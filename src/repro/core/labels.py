@@ -1,0 +1,128 @@
+"""The extreme-labeling scheme (paper Sec 4.1).
+
+Labels give every extreme a (virtually) unique identifier derived from
+the *shape* of the preceding stream rather than from the extreme's own
+value.  Using the label — instead of the value — to pick the embedding
+bit position breaks the correlation between alteration location and
+alteration value that Mallory's "hash-bucket counting" attack exploits.
+
+Definition (with the paper's symbols):
+
+* ``label_bit(i, i + %)`` is true iff
+  ``msb(abs(val(ε_i)), β) < msb(abs(val(ε_{i+%})), β)``;
+* the label of extreme ``c`` is the bit string ``"1"`` followed by the
+  ``λ - 1`` bits ``label_bit(j, j + %)`` for
+  ``j = c - %(λ-1), c - %(λ-2), ..., c - %`` — i.e. a chain of
+  comparisons between extremes ``%`` apart, ending at ``c``.
+
+Worked example (paper Fig 2(a), % = 2): extremes ``A..K`` where the
+comparison bits are ``AC:1, CE:0, EG:1, GI:0, IK:0`` give extreme K the
+label ``"110100"`` — reproduced verbatim in the test-suite.
+
+Labels are represented as ints whose bit-length is exactly λ (the
+leading "1" doubles as a length guard).  While fewer than
+``%(λ-1)`` predecessors exist the label is undefined (``None``) and the
+embedder/detector skip the extreme — the warm-up the paper's
+segmentation analysis (Sec 5) accounts for.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.quantize import Quantizer
+from repro.errors import ParameterError
+
+
+def label_bit(earlier_value: float, later_value: float,
+              quantizer: Quantizer, msb_bits: int) -> bool:
+    """One comparison bit: ``msb(|earlier|, β) < msb(|later|, β)``."""
+    return (quantizer.abs_msb(earlier_value, msb_bits)
+            < quantizer.abs_msb(later_value, msb_bits))
+
+
+def label_from_history(history: "list[float]", quantizer: Quantizer,
+                       msb_bits: int) -> int:
+    """Build a label from the chain ``history[0], history[1], ...``.
+
+    ``history`` must hold the extreme values at positions
+    ``c - %(λ-1), c - %(λ-2), ..., c`` (λ values, already ``%``-strided).
+    Returns the label as an int of bit-length exactly ``len(history)``.
+    """
+    if len(history) < 2:
+        raise ParameterError("label needs at least two extreme values")
+    label = 1  # the leading "1" of the paper's construction
+    for earlier, later in zip(history[:-1], history[1:]):
+        bit = label_bit(earlier, later, quantizer, msb_bits)
+        label = (label << 1) | int(bit)
+    return label
+
+
+class StreamingLabeler:
+    """Single-pass label computation over the sequence of major extremes.
+
+    Feed every major extreme's (post-embedding) value through
+    :meth:`push`; it returns the extreme's label once enough history has
+    accumulated, ``None`` during warm-up.  Memory use is
+    ``%(λ-1) + 1`` floats — constant, honouring the window model.
+    """
+
+    def __init__(self, lambda_bits: int, skip: int,
+                 quantizer: Quantizer, msb_bits: int) -> None:
+        if lambda_bits < 2:
+            raise ParameterError(f"lambda_bits must be >= 2, got {lambda_bits}")
+        if skip < 1:
+            raise ParameterError(f"skip must be >= 1, got {skip}")
+        self._lambda = lambda_bits
+        self._skip = skip
+        self._quantizer = quantizer
+        self._msb_bits = msb_bits
+        self._needed = skip * (lambda_bits - 1) + 1
+        self._values: deque[float] = deque(maxlen=self._needed)
+
+    @property
+    def warmup_remaining(self) -> int:
+        """Extremes still needed before labels become defined."""
+        return max(0, self._needed - len(self._values))
+
+    def push(self, extreme_value: float) -> "int | None":
+        """Record one extreme value; return its label or ``None``."""
+        self._values.append(float(extreme_value))
+        if len(self._values) < self._needed:
+            return None
+        # history: values at distances %(λ-1), ..., %, 0 behind current.
+        chain = [self._values[-1 - self._skip * k]
+                 for k in range(self._lambda - 1, -1, -1)]
+        return label_from_history(chain, self._quantizer, self._msb_bits)
+
+    def preview(self, extreme_value: float) -> "int | None":
+        """Label this value *would* get, without committing it.
+
+        The embedder needs the label before encoding but must commit the
+        post-encoding value (what the detector will see); preview/push
+        splits those two steps.
+        """
+        if len(self._values) + 1 < self._needed:
+            return None
+        hypothetical = list(self._values)[-(self._needed - 1):]
+        hypothetical.append(float(extreme_value))
+        chain = [hypothetical[-1 - self._skip * k]
+                 for k in range(self._lambda - 1, -1, -1)]
+        return label_from_history(chain, self._quantizer, self._msb_bits)
+
+    def reset(self) -> None:
+        """Forget all history (e.g. when detection restarts on a segment)."""
+        self._values.clear()
+
+
+def labels_for_extreme_values(extreme_values, lambda_bits: int, skip: int,
+                              quantizer: Quantizer, msb_bits: int
+                              ) -> "list[int | None]":
+    """Labels of every extreme in a sequence (offline convenience).
+
+    Returns one entry per input extreme; entries during warm-up are
+    ``None``.  Used by the label-resilience experiments (Figs 6, 8),
+    which compare the label sequences of original vs attacked streams.
+    """
+    labeler = StreamingLabeler(lambda_bits, skip, quantizer, msb_bits)
+    return [labeler.push(value) for value in extreme_values]

@@ -1,0 +1,139 @@
+"""Fixed-point quantization of normalized stream values.
+
+The paper manipulates stream values at the bit level (``msb(x, b)``,
+``lsb(x, b)``, "alter the least significant bits") without spelling out
+the number representation.  We make it explicit: a normalized value
+``v in (-0.5, +0.5)`` maps to an unsigned ``value_bits``-wide integer
+
+    q = floor((v + 0.5) * 2^value_bits)
+
+and back through the cell midpoint
+
+    v = (q + 0.5) / 2^value_bits - 0.5.
+
+The midpoint rule makes the round-trip exact (``quantize(dequantize(q))
+== q``) and keeps every dequantized value exactly representable in an
+IEEE double for ``value_bits <= 48``, which the multi-hash encoding's
+average-key computation relies on (see :meth:`Quantizer.average_key`).
+
+Average keys
+------------
+The multi-hash convention hashes sub-range averages ``m_ij``.  Averages
+of ``k`` values live on a finer grid than the values themselves, so they
+are keyed on ``value_bits + avg_extra_bits`` bits: a single unit change
+in one member's quantized value moves the scaled average by
+``2^avg_extra_bits / k >= 1`` for ``k <= 2^avg_extra_bits``, guaranteeing
+the embedding search can steer every constrained average.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.util import bitops
+from repro.util.validation import as_float_array
+
+
+class Quantizer:
+    """Bidirectional map between normalized floats and b-bit integers."""
+
+    def __init__(self, value_bits: int = 32, avg_extra_bits: int = 8) -> None:
+        if not 8 <= value_bits <= 48:
+            raise ParameterError(
+                f"value_bits must be in [8, 48], got {value_bits}"
+            )
+        if avg_extra_bits < 1 or value_bits + avg_extra_bits > 52:
+            raise ParameterError(
+                "avg_extra_bits must be >= 1 with value_bits + avg_extra_bits "
+                f"<= 52, got {avg_extra_bits}"
+            )
+        self._bits = value_bits
+        self._extra = avg_extra_bits
+        self._scale = float(1 << value_bits)
+        self._avg_scale = float(1 << (value_bits + avg_extra_bits))
+        self._max_q = (1 << value_bits) - 1
+
+    # ------------------------------------------------------------------
+    @property
+    def value_bits(self) -> int:
+        """Width ``b(x)`` of a quantized value."""
+        return self._bits
+
+    @property
+    def avg_key_bits(self) -> int:
+        """Width of an average key (``value_bits + avg_extra_bits``)."""
+        return self._bits + self._extra
+
+    @property
+    def resolution(self) -> float:
+        """Normalized-value size of one quantization step."""
+        return 1.0 / self._scale
+
+    # ------------------------------------------------------------------
+    def quantize(self, value: float) -> int:
+        """Map one normalized value to its b-bit cell index."""
+        q = int(np.floor((float(value) + 0.5) * self._scale))
+        return min(max(q, 0), self._max_q)
+
+    def quantize_array(self, values) -> np.ndarray:
+        """Vectorized :meth:`quantize` (returns int64 array)."""
+        array = as_float_array(values, "values")
+        q = np.floor((array + 0.5) * self._scale).astype(np.int64)
+        return np.clip(q, 0, self._max_q)
+
+    def dequantize(self, q: int) -> float:
+        """Map a cell index back to its midpoint value."""
+        if not 0 <= q <= self._max_q:
+            raise ParameterError(
+                f"quantized value {q} outside [0, {self._max_q}]"
+            )
+        return (q + 0.5) / self._scale - 0.5
+
+    def dequantize_array(self, q_values) -> np.ndarray:
+        """Vectorized :meth:`dequantize`."""
+        q = np.asarray(q_values, dtype=np.int64)
+        if q.size and (q.min() < 0 or q.max() > self._max_q):
+            raise ParameterError("quantized values outside representable range")
+        return (q + 0.5) / self._scale - 0.5
+
+    def requantize(self, value: float) -> float:
+        """Snap a float onto the quantization grid (embedder output form)."""
+        return self.dequantize(self.quantize(value))
+
+    # ------------------------------------------------------------------
+    def msb(self, value: float, n_bits: int) -> int:
+        """``msb(x, n)`` of the quantized value — the selection input."""
+        return bitops.msb(self.quantize(value), n_bits, self._bits)
+
+    def abs_msb(self, value: float, n_bits: int) -> int:
+        """``msb(abs(x), n)`` — the label-comparison input (Sec 4.1).
+
+        Quantizing ``|v|`` through the same map keeps the comparison
+        monotone in ``|v|``, which is all the labeling scheme needs.
+        """
+        return bitops.msb(self.quantize(abs(float(value))), n_bits, self._bits)
+
+    # ------------------------------------------------------------------
+    def average_key(self, values) -> int:
+        """Deterministic integer key of a sub-range average ``m_ij``.
+
+        Computed as ``floor((mean(values) + 0.5) * 2^(b + e))``.  Both the
+        embedder (predicting what a summarizer will emit) and the detector
+        (keying what it received) call this on IEEE doubles; for chunk
+        sizes below numpy's pairwise-summation block the mean is
+        bit-identical on both sides, so the keys agree exactly.
+        """
+        array = np.asarray(values, dtype=np.float64)
+        if array.size == 0:
+            raise ParameterError("average_key of an empty range")
+        mean = float(np.mean(array))
+        key = int(np.floor((mean + 0.5) * self._avg_scale))
+        upper = (1 << self.avg_key_bits) - 1
+        return min(max(key, 0), upper)
+
+    def average_key_scalar(self, value: float) -> int:
+        """Average key of a single received item (degenerate sub-range)."""
+        key = int(np.floor((float(value) + 0.5) * self._avg_scale))
+        upper = (1 << self.avg_key_bits) - 1
+        return min(max(key, 0), upper)

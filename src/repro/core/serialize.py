@@ -1,0 +1,131 @@
+"""Evidence serialization: persist and reload detection/embedding state.
+
+Rights-protection evidence outlives processes: the embed report carries
+the reference statistics detection needs years later (Sec 4.2's average
+subset size), and a detection result is the artifact presented in court.
+Both serialize to plain JSON-compatible dicts — no pickle, so archives
+remain readable and tamper-evident alongside any notarization scheme.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.detector import DetectionResult
+from repro.core.embedder import EmbedReport
+from repro.core.scanner import ScanCounters
+from repro.errors import ParameterError
+
+_FORMAT_VERSION = 1
+
+
+def _counters_to_dict(counters: ScanCounters) -> dict:
+    return {
+        "items": counters.items,
+        "extremes_confirmed": counters.extremes_confirmed,
+        "majors": counters.majors,
+        "warmup_skips": counters.warmup_skips,
+        "selected": counters.selected,
+        "missed_evictions": counters.missed_evictions,
+        "subset_size_sum": counters.subset_size_sum,
+    }
+
+
+def _counters_from_dict(data: dict) -> ScanCounters:
+    return ScanCounters(**{key: int(data[key])
+                           for key in ("items", "extremes_confirmed",
+                                       "majors", "warmup_skips", "selected",
+                                       "missed_evictions",
+                                       "subset_size_sum")})
+
+
+def detection_to_dict(result: DetectionResult) -> dict:
+    """Serialize a detection result (buckets, counters, threshold)."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "kind": "detection-result",
+        "buckets_true": list(result.buckets_true),
+        "buckets_false": list(result.buckets_false),
+        "abstentions": result.abstentions,
+        "vote_threshold": result.vote_threshold,
+        "counters": _counters_to_dict(result.counters),
+    }
+
+
+def detection_from_dict(data: dict) -> DetectionResult:
+    """Reconstruct a detection result serialized by :func:`detection_to_dict`."""
+    _check(data, "detection-result")
+    return DetectionResult(
+        buckets_true=[int(x) for x in data["buckets_true"]],
+        buckets_false=[int(x) for x in data["buckets_false"]],
+        counters=_counters_from_dict(data["counters"]),
+        abstentions=int(data["abstentions"]),
+        vote_threshold=int(data["vote_threshold"]))
+
+
+def report_to_dict(report: EmbedReport) -> dict:
+    """Serialize an embed report (everything detection may need later)."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "kind": "embed-report",
+        "counters": _counters_to_dict(report.counters),
+        "embedded": report.embedded,
+        "search_failures": report.search_failures,
+        "quality_rollbacks": report.quality_rollbacks,
+        "total_search_iterations": report.total_search_iterations,
+        "altered_items": report.altered_items,
+        "sum_abs_alteration": report.sum_abs_alteration,
+        "max_abs_alteration": report.max_abs_alteration,
+    }
+
+
+def report_from_dict(data: dict) -> EmbedReport:
+    """Reconstruct an embed report serialized by :func:`report_to_dict`."""
+    _check(data, "embed-report")
+    return EmbedReport(
+        counters=_counters_from_dict(data["counters"]),
+        embedded=int(data["embedded"]),
+        search_failures=int(data["search_failures"]),
+        quality_rollbacks=int(data["quality_rollbacks"]),
+        total_search_iterations=int(data["total_search_iterations"]),
+        altered_items=int(data["altered_items"]),
+        sum_abs_alteration=float(data["sum_abs_alteration"]),
+        max_abs_alteration=float(data["max_abs_alteration"]))
+
+
+def save_json(obj, path: "str | Path") -> None:
+    """Persist a detection result or embed report to a JSON file."""
+    if isinstance(obj, DetectionResult):
+        payload = detection_to_dict(obj)
+    elif isinstance(obj, EmbedReport):
+        payload = report_to_dict(obj)
+    else:
+        raise ParameterError(
+            f"cannot serialize {type(obj).__name__}; expected "
+            "DetectionResult or EmbedReport"
+        )
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def load_json(path: "str | Path"):
+    """Load whatever :func:`save_json` stored at ``path``."""
+    data = json.loads(Path(path).read_text())
+    kind = data.get("kind")
+    if kind == "detection-result":
+        return detection_from_dict(data)
+    if kind == "embed-report":
+        return report_from_dict(data)
+    raise ParameterError(f"unknown serialized kind {kind!r}")
+
+
+def _check(data: dict, expected_kind: str) -> None:
+    if data.get("kind") != expected_kind:
+        raise ParameterError(
+            f"expected kind {expected_kind!r}, got {data.get('kind')!r}"
+        )
+    if int(data.get("format_version", -1)) > _FORMAT_VERSION:
+        raise ParameterError(
+            "archive written by a newer library version "
+            f"({data['format_version']} > {_FORMAT_VERSION})"
+        )

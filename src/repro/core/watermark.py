@@ -1,0 +1,90 @@
+"""Watermark payload coercion.
+
+The algorithms operate on a bit string ``wm`` (``wm[i]`` is bit ``i``).
+Users hold watermarks as text ("(c) 2004 DataCorp"), bytes, bit strings
+or bit lists; these helpers normalize between the forms.
+
+Coercion rules for strings: a string consisting solely of ``'0'``/``'1'``
+characters is interpreted as a literal bit string; any other string is
+encoded as UTF-8 bytes, most significant bit first.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParameterError
+
+
+def to_bits(watermark) -> list[bool]:
+    """Normalize a watermark payload into a list of bits.
+
+    >>> to_bits("101")
+    [True, False, True]
+    >>> len(to_bits("A"))
+    8
+    >>> to_bits([1, 0, True])
+    [True, False, True]
+    """
+    if isinstance(watermark, str):
+        if watermark and set(watermark) <= {"0", "1"}:
+            return [ch == "1" for ch in watermark]
+        raw = watermark.encode("utf-8")
+        if not raw:
+            raise ParameterError("watermark string must not be empty")
+        return _bytes_to_bits(raw)
+    if isinstance(watermark, (bytes, bytearray)):
+        if not watermark:
+            raise ParameterError("watermark bytes must not be empty")
+        return _bytes_to_bits(bytes(watermark))
+    if isinstance(watermark, (list, tuple)):
+        if not watermark:
+            raise ParameterError("watermark bit list must not be empty")
+        bits: list[bool] = []
+        for item in watermark:
+            if isinstance(item, bool):
+                bits.append(item)
+            elif isinstance(item, int) and item in (0, 1):
+                bits.append(bool(item))
+            else:
+                raise ParameterError(
+                    f"watermark bit list contains non-bit {item!r}"
+                )
+        return bits
+    raise ParameterError(
+        f"unsupported watermark type: {type(watermark).__name__}"
+    )
+
+
+def _bytes_to_bits(raw: bytes) -> list[bool]:
+    bits: list[bool] = []
+    for byte in raw:
+        for position in range(7, -1, -1):
+            bits.append(bool((byte >> position) & 1))
+    return bits
+
+
+def bits_to_bytes(bits: "list[bool | None]",
+                  undefined_as: bool = False) -> bytes:
+    """Pack decided bits back into bytes (detector output convenience).
+
+    ``None`` entries (undecided bits, Sec 3.3's "undefined") are replaced
+    by ``undefined_as``.  The bit count must be a multiple of 8.
+    """
+    if len(bits) % 8 != 0:
+        raise ParameterError(
+            f"bit count must be a multiple of 8, got {len(bits)}"
+        )
+    out = bytearray()
+    for i in range(0, len(bits), 8):
+        byte = 0
+        for bit in bits[i:i + 8]:
+            effective = undefined_as if bit is None else bit
+            byte = (byte << 1) | int(bool(effective))
+        out.append(byte)
+    return bytes(out)
+
+
+def bits_to_text(bits: "list[bool | None]",
+                 undefined_as: bool = False) -> str:
+    """Decode detector output bits as UTF-8 text (replacement on errors)."""
+    return bits_to_bytes(bits, undefined_as).decode("utf-8",
+                                                    errors="replace")

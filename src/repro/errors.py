@@ -1,0 +1,67 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by the library derive from :class:`ReproError`, so
+callers can catch a single base class at an API boundary.  The hierarchy
+mirrors the major subsystems: parameter validation, stream handling,
+encoding search, and detection.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` package."""
+
+
+class ParameterError(ReproError, ValueError):
+    """A watermarking or stream parameter violates a documented invariant.
+
+    Raised eagerly at construction time (e.g. by
+    :class:`repro.core.params.WatermarkParams`) rather than deep inside the
+    embedding loop, so misconfiguration surfaces immediately.
+    """
+
+
+class StreamError(ReproError):
+    """A stream source or window operation was used incorrectly."""
+
+
+class WindowOverflowError(StreamError):
+    """More items were pushed into a :class:`SlidingWindow` than it holds."""
+
+
+class NormalizationError(StreamError, ValueError):
+    """Values cannot be normalized (e.g. degenerate or empty range)."""
+
+
+class EncodingError(ReproError):
+    """A bit could not be embedded into a characteristic subset."""
+
+
+class EncodingSearchExhausted(EncodingError):
+    """The multi-hash (or quadratic-residue) search hit its iteration cap.
+
+    The embedder treats this as a soft failure: the extreme is skipped and
+    counted in :class:`repro.core.embedder.EmbedReport.search_failures`.
+    """
+
+
+class QualityConstraintViolated(ReproError):
+    """A semantic quality constraint rejected a watermarking alteration.
+
+    Carries the name of the violated constraint so the undo log can report
+    which guarantee triggered the rollback (paper Sec 4.4).
+    """
+
+    def __init__(self, constraint_name: str, message: str = "") -> None:
+        self.constraint_name = constraint_name
+        text = message or f"quality constraint violated: {constraint_name}"
+        super().__init__(text)
+
+
+class DetectionError(ReproError):
+    """The detector was asked for results it cannot produce."""
+
+
+class KeyError_(ReproError, ValueError):
+    """A secret key is malformed (empty, wrong type, or too short)."""

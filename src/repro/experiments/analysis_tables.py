@@ -1,0 +1,63 @@
+"""Sec 5's worked numeric examples as a reproducible table.
+
+The analysis section contains four headline numbers; this module
+recomputes each from the implemented closed forms so the benchmark
+harness can assert them against the paper:
+
+* ``(2^-15)``-per-extreme false positive (ω = 1, a = 5);
+* the "one in a million" degraded-mode Pfp after 20 carrier extremes;
+* ``P(15, 10, 21) ≈ 0.85%`` — the bowl-of-balls probability that the
+  Sec-5 attack removes every active average of an extreme;
+* the ≈ 4.25% extra stream data needed for an equally convincing proof.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.attack_math import (
+    altered_pair_count,
+    attack_success_probability,
+    extra_data_fraction,
+    prob_all_removed,
+)
+from repro.core.confidence import (
+    confidence_from_bias,
+    fp_probability_degraded,
+    min_segment_items,
+    per_extreme_fp,
+)
+from repro.experiments.runner import ExperimentResult
+
+
+def run_analysis_table(scale: float = 1.0) -> ExperimentResult:
+    """All Sec-5 worked examples, paper value vs computed value."""
+    result = ExperimentResult(
+        experiment_id="sec5-analysis",
+        title="Sec 5 worked examples (closed forms)",
+        columns=["quantity", "paper_value", "computed"],
+        paper_expectation="every row should match the paper's number")
+    result.add(quantity="per-extreme fp, omega=1, a=5  (2^-15)",
+               paper_value=2.0 ** -15,
+               computed=per_extreme_fp(5, 1))
+    result.add(quantity="degraded Pfp, 20 carrier extremes ('one in a million')",
+               paper_value=1e-6,
+               computed=fp_probability_degraded(2.0, 100.0, 10.0, 1))
+    result.add(quantity="c_m for a=6, a2=50% (removals)",
+               paper_value=15.0,
+               computed=altered_pair_count(6, 0.5))
+    result.add(quantity="P(15,10,21): all active averages destroyed",
+               paper_value=0.0085,
+               computed=prob_all_removed(15, 10, 21))
+    result.add(quantity="attack success prob (a1=5,a=6,a2=a4=50%)",
+               paper_value=0.0085,
+               computed=attack_success_probability(6, 0.5, 0.5))
+    result.add(quantity="extra data needed, a1=5 (4.25%)",
+               paper_value=0.0425,
+               computed=extra_data_fraction(
+                   5, attack_success_probability(6, 0.5, 0.5)))
+    result.add(quantity="confidence at detected bias 10 (footnote 5)",
+               paper_value=0.999,
+               computed=confidence_from_bias(10))
+    result.add(quantity="min segment items (eta=100, %=2)",
+               paper_value=200.0,
+               computed=min_segment_items(100.0, 2))
+    return result

@@ -1,0 +1,58 @@
+"""Reference datasets for the experiments, cached per process.
+
+Embedding the reference streams is the expensive part of every figure;
+caching the (stream, marked, report) triples keeps the whole benchmark
+suite in the minutes range while every figure still exercises the real
+pipeline.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.core.embedder import EmbedReport, watermark_stream
+from repro.experiments.config import DEFAULT_KEY, irtf_params, synthetic_params
+from repro.streams.generators import TemperatureSensorGenerator
+from repro.streams.nasa import synthetic_irtf_month
+from repro.streams.normalize import Normalizer
+
+
+@lru_cache(maxsize=8)
+def reference_synthetic(n_items: int = 8000, eta: int = 100,
+                        seed: int = 7) -> np.ndarray:
+    """The Sec-6 synthetic reference stream (read-only)."""
+    values = TemperatureSensorGenerator(eta=eta, seed=seed).generate(n_items)
+    values.setflags(write=False)
+    return values
+
+
+@lru_cache(maxsize=4)
+def reference_irtf(seed: int = 20030901) -> np.ndarray:
+    """The normalized IRTF-like month (read-only)."""
+    values, _ = synthetic_irtf_month(seed=seed)
+    normalized = Normalizer(low=0.0, high=35.0).normalize(values)
+    normalized.setflags(write=False)
+    return normalized
+
+
+@lru_cache(maxsize=8)
+def marked_synthetic(n_items: int = 8000, eta: int = 100, seed: int = 7
+                     ) -> tuple[np.ndarray, EmbedReport]:
+    """One-bit-watermarked synthetic stream plus its embed report."""
+    stream = reference_synthetic(n_items, eta, seed)
+    marked, report = watermark_stream(np.array(stream), "1", DEFAULT_KEY,
+                                      params=synthetic_params())
+    marked.setflags(write=False)
+    return marked, report
+
+
+@lru_cache(maxsize=4)
+def marked_irtf(seed: int = 20030901) -> tuple[np.ndarray, EmbedReport]:
+    """One-bit-watermarked IRTF-like stream plus its embed report."""
+    stream = reference_irtf(seed)
+    marked, report = watermark_stream(np.array(stream), "1", DEFAULT_KEY,
+                                      params=irtf_params())
+    marked.setflags(write=False)
+    return marked, report

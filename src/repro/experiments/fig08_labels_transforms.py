@@ -1,0 +1,90 @@
+"""Figure 8 — label resilience under sampling and summarization.
+
+Panel (a): labels altered vs *label size* under sampling of degree 3 —
+larger labels are more fragile (more comparisons must survive).
+Panel (b): labels altered vs summarization degree — degrades gracefully;
+the paper highlights that 5% summarization (degree 20) still preserves
+over 20% of labels.
+
+Like Fig 6, this evaluates the bare Sec-4.1 labeling module (raw
+extreme values): the paper's curves measure exactly the fragility the
+hysteresis-robust pipeline later mitigates.  Label reconstruction on
+the transformed stream uses the Sec-4.2 adjusted majorness degree, and
+the comparison aligns extremes by (rescaled) stream position.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.metrics import label_alteration_aligned, labeled_major_extremes
+from repro.core.degree import adjusted_sigma
+from repro.experiments.config import scaled, synthetic_params
+from repro.experiments.datasets import reference_synthetic
+from repro.experiments.runner import ExperimentResult
+from repro.transforms.sampling import uniform_random_sampling
+from repro.transforms.summarization import summarize
+
+
+def run_fig8a(scale: float = 1.0, seed: int = 81) -> ExperimentResult:
+    """Labels altered vs label size, sampling degree 3.
+
+    Uses the sharp-peaked (triangle) stream shape: label fragility under
+    sampling comes from the surviving maximum drifting within the thin
+    characteristic subset, a mechanism flat-topped streams suppress
+    entirely (their sampled maxima are essentially exact).
+    """
+    from repro.streams.generators import TemperatureSensorGenerator
+
+    params = synthetic_params()
+    stream = TemperatureSensorGenerator(
+        eta=100, seed=seed, shape="triangle").generate(
+            scaled(8000, scale, 5000))
+    sampled = uniform_random_sampling(stream, 3, rng=seed)
+    sigma_eff = adjusted_sigma(params.sigma, 3.0)
+    result = ExperimentResult(
+        experiment_id="fig8a",
+        title="label alteration vs label size (sampling degree 3)",
+        columns=["label_size", "labels_altered_pct"],
+        paper_expectation=("alteration grows with label size "
+                           "(paper: ~10% at size 5 to ~40% at 25)"))
+    for label_size in (5, 10, 15, 20, 25):
+        original = labeled_major_extremes(stream, params,
+                                          lambda_bits=label_size,
+                                          use_robust_reference=False)
+        transformed = labeled_major_extremes(sampled, params,
+                                             lambda_bits=label_size,
+                                             effective_sigma=sigma_eff,
+                                             use_robust_reference=False)
+        fraction = label_alteration_aligned(original, transformed,
+                                            index_scale=3.0)
+        result.add(label_size=label_size,
+                   labels_altered_pct=100.0 * fraction)
+    return result
+
+
+def run_fig8b(scale: float = 1.0, seed: int = 82) -> ExperimentResult:
+    """Labels altered vs summarization degree."""
+    params = synthetic_params()
+    stream = np.array(reference_synthetic(scaled(8000, scale, 5000)))
+    original = labeled_major_extremes(stream, params,
+                                      use_robust_reference=False)
+    degrees = (2, 4, 6, 8, 12, 16, 20)
+    if scale < 0.5:
+        degrees = (2, 8, 20)
+    result = ExperimentResult(
+        experiment_id="fig8b",
+        title="label alteration vs summarization degree",
+        columns=["degree", "labels_altered_pct"],
+        paper_expectation=("graceful degradation; >20% of labels survive "
+                           "even at degree 20 (paper: ~20-80% altered)"))
+    for degree in degrees:
+        summarized = summarize(stream, degree)
+        transformed = labeled_major_extremes(
+            summarized, params,
+            effective_sigma=adjusted_sigma(params.sigma, float(degree)),
+            use_robust_reference=False)
+        fraction = label_alteration_aligned(original, transformed,
+                                            index_scale=float(degree))
+        result.add(degree=degree, labels_altered_pct=100.0 * fraction)
+    return result

@@ -1,0 +1,76 @@
+"""Result container and table formatting for the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ParameterError
+
+
+@dataclass
+class ExperimentResult:
+    """Rows regenerating one paper figure (or panel).
+
+    Attributes
+    ----------
+    experiment_id:
+        e.g. ``"fig7b"`` — matches DESIGN.md's per-experiment index.
+    title:
+        Human-readable description.
+    columns:
+        Ordered column names; every row must provide them all.
+    rows:
+        The measured series.
+    paper_expectation:
+        One-line statement of the shape/value the paper reports, so the
+        printed table is self-judging.
+    """
+
+    experiment_id: str
+    title: str
+    columns: list[str]
+    rows: list[dict] = field(default_factory=list)
+    paper_expectation: str = ""
+
+    def add(self, **row) -> None:
+        """Append a row, validating the column set."""
+        missing = set(self.columns) - set(row)
+        if missing:
+            raise ParameterError(
+                f"{self.experiment_id}: row missing columns {sorted(missing)}"
+            )
+        self.rows.append(row)
+
+    def column(self, name: str) -> list:
+        """Extract one column as a list (for assertions on shapes)."""
+        if name not in self.columns:
+            raise ParameterError(f"unknown column {name!r}")
+        return [row[name] for row in self.rows]
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        if value != 0 and (abs(value) < 1e-3 or abs(value) >= 1e6):
+            return f"{value:.3e}"
+        return f"{value:.4f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(result: ExperimentResult) -> str:
+    """Render an ExperimentResult as an aligned text table."""
+    header = [result.columns]
+    body = [[_format_value(row[c]) for c in result.columns]
+            for row in result.rows]
+    widths = [max(len(line[i]) for line in header + body)
+              for i in range(len(result.columns))]
+    lines = [
+        f"== {result.experiment_id}: {result.title} ==",
+    ]
+    if result.paper_expectation:
+        lines.append(f"paper: {result.paper_expectation}")
+    lines.append("  ".join(c.ljust(w) for c, w in zip(result.columns,
+                                                      widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for line in body:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(line, widths)))
+    return "\n".join(lines)

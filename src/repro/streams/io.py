@@ -1,0 +1,67 @@
+"""Stream persistence helpers (CSV and NPY).
+
+Watermarked streams are plain value sequences; these helpers exist so the
+examples can hand data between the producer, the (simulated) licensed
+consumer and the detector the way the paper's Fig-1 scenario describes —
+through files rather than in-process arrays.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import StreamError
+from repro.util.validation import as_float_array
+
+
+def save_stream_csv(path: "str | Path", values, header: str = "value") -> None:
+    """Write one value per row with a single-column header."""
+    array = as_float_array(values, "values")
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([header])
+        for value in array:
+            writer.writerow([repr(float(value))])
+
+
+def load_stream_csv(path: "str | Path") -> np.ndarray:
+    """Read a single-column CSV written by :func:`save_stream_csv`."""
+    path = Path(path)
+    if not path.exists():
+        raise StreamError(f"no such stream file: {path}")
+    values: list[float] = []
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        header_skipped = False
+        for row in reader:
+            if not row:
+                continue
+            if not header_skipped:
+                header_skipped = True
+                try:
+                    float(row[0])
+                except ValueError:
+                    continue  # it really was a header line
+            values.append(float(row[0]))
+    if not values:
+        raise StreamError(f"stream file {path} contains no values")
+    return np.asarray(values, dtype=np.float64)
+
+
+def save_stream_npy(path: "str | Path", values) -> None:
+    """Binary (lossless float64) persistence for large streams."""
+    array = as_float_array(values, "values")
+    np.save(Path(path), array)
+
+
+def load_stream_npy(path: "str | Path") -> np.ndarray:
+    """Load a stream saved by :func:`save_stream_npy`."""
+    path = Path(path)
+    if not path.exists():
+        raise StreamError(f"no such stream file: {path}")
+    array = np.load(path)
+    return as_float_array(array, "values")

@@ -1,0 +1,149 @@
+"""The finite processing window (paper Sec 2.2).
+
+Any stream processing is space-bound: at any point in time no more than
+``$`` stream values (or equivalent amounts of arbitrary data) can be
+stored at the processing point.  As new data arrives, the default window
+behaviour is to *push* the oldest items out (they are transmitted
+further, out of the processing facility) and *shift* the window to free
+space for new entries.
+
+:class:`SlidingWindow` models exactly this: ``push`` admits new items and
+returns whatever got evicted (the downstream/output side), ``advance``
+implements the algorithms' "advance the window past ε" step, and
+``flush`` drains the remainder at end-of-stream.  The watermarking
+embedder mutates items *inside* the window before they are evicted, so
+the single-pass constraint holds: once a value leaves the window it is
+never touched again.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import StreamError, WindowOverflowError
+
+
+class SlidingWindow:
+    """A bounded FIFO window over stream values with eviction on push.
+
+    Parameters
+    ----------
+    capacity:
+        The paper's ``$`` — maximum number of items held at once.
+
+    Notes
+    -----
+    Items are stored as Python floats in a deque; the window is the only
+    place where the embedder may rewrite values, via :meth:`replace`.
+    ``start_index`` tracks the absolute stream position of the window's
+    first element so extremes can be reported in stream coordinates.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 1:
+            raise StreamError(
+                f"window capacity must be at least 2, got {capacity}"
+            )
+        self._capacity = int(capacity)
+        self._items: deque[float] = deque()
+        self._start_index = 0
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        """Maximum number of items the window holds (``$``)."""
+        return self._capacity
+
+    @property
+    def start_index(self) -> int:
+        """Absolute stream index of the first item currently in-window."""
+        return self._start_index
+
+    @property
+    def end_index(self) -> int:
+        """Absolute stream index one past the last in-window item."""
+        return self._start_index + len(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self._items)
+
+    def is_full(self) -> bool:
+        """True when a further push must evict."""
+        return len(self._items) >= self._capacity
+
+    def values(self) -> np.ndarray:
+        """Snapshot of the current window contents as a float array."""
+        return np.asarray(self._items, dtype=np.float64)
+
+    def __getitem__(self, offset: int) -> float:
+        """Read the item ``offset`` positions from the window start."""
+        return self._items[offset]
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def replace(self, offset: int, value: float) -> None:
+        """Overwrite the in-window item at ``offset`` (embedder use only)."""
+        if not 0 <= offset < len(self._items):
+            raise StreamError(
+                f"replace offset {offset} outside window of {len(self._items)}"
+            )
+        self._items[offset] = float(value)
+
+    def push(self, value: float) -> "float | None":
+        """Admit one new item; return the evicted oldest item if full.
+
+        Eviction models the window "shift": the evicted value is the one
+        leaving the processing facility and must be forwarded downstream
+        by the caller.
+        """
+        evicted: "float | None" = None
+        if len(self._items) >= self._capacity:
+            evicted = self._items.popleft()
+            self._start_index += 1
+        self._items.append(float(value))
+        return evicted
+
+    def push_many(self, values: Iterable[float]) -> list[float]:
+        """Push a batch; return all evicted items in order."""
+        out: list[float] = []
+        for value in values:
+            evicted = self.push(value)
+            if evicted is not None:
+                out.append(evicted)
+        return out
+
+    def extend_no_evict(self, values: Iterable[float]) -> None:
+        """Fill the window during warm-up; raises if capacity is exceeded."""
+        for value in values:
+            if len(self._items) >= self._capacity:
+                raise WindowOverflowError(
+                    f"extend_no_evict overflow at capacity {self._capacity}"
+                )
+            self._items.append(float(value))
+
+    def advance(self, n: int) -> list[float]:
+        """Evict (and return) the ``n`` oldest items.
+
+        Implements the algorithms' ``advance win[] past ε`` step: after an
+        extreme has been processed, everything up to and including it is
+        released downstream.
+        """
+        if n < 0:
+            raise StreamError(f"advance count must be >= 0, got {n}")
+        n = min(n, len(self._items))
+        out = [self._items.popleft() for _ in range(n)]
+        self._start_index += n
+        return out
+
+    def flush(self) -> list[float]:
+        """Evict everything (end-of-stream drain)."""
+        return self.advance(len(self._items))

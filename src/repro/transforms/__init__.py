@@ -1,0 +1,30 @@
+"""Domain-specific stream transforms (paper Sec 2.1/2.2, A1-A4).
+
+These are the *natural* operations a licensed consumer applies to a
+sensor stream — and therefore the transforms a watermark must survive:
+
+* :mod:`repro.transforms.sampling` — (A2) uniform / fixed random sampling;
+* :mod:`repro.transforms.summarization` — (A1) chunk-averaging, plus the
+  paper's future-work aggregates (min / max / median);
+* :mod:`repro.transforms.segmentation` — (A3) finite segment extraction;
+* :mod:`repro.transforms.linear` — (A4) scaling and offset changes;
+* :mod:`repro.transforms.compose` — sequential composition (Fig 10(b)'s
+  combined sampling x summarization experiment).
+"""
+
+from repro.transforms.compose import Compose, describe_pipeline
+from repro.transforms.linear import linear_transform
+from repro.transforms.sampling import fixed_random_sampling, uniform_random_sampling
+from repro.transforms.segmentation import random_segment, segment
+from repro.transforms.summarization import summarize
+
+__all__ = [
+    "Compose",
+    "describe_pipeline",
+    "linear_transform",
+    "fixed_random_sampling",
+    "uniform_random_sampling",
+    "random_segment",
+    "segment",
+    "summarize",
+]

@@ -1,0 +1,49 @@
+"""Sequential composition of transforms (Fig 10(b)'s combined attack).
+
+The paper evaluates a 25% sampling followed by a 25% summarization and
+finds the combination "survived equally well".  :class:`Compose` builds
+such pipelines from any callables of signature ``values -> values`` and
+keeps a readable description for the benchmark report.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.util.validation import as_float_array
+
+Transform = Callable[[np.ndarray], np.ndarray]
+
+
+class Compose:
+    """Apply transforms left-to-right: ``Compose([f, g])(x) == g(f(x))``."""
+
+    def __init__(self, steps: Sequence[tuple[str, Transform]]) -> None:
+        if not steps:
+            raise ParameterError("Compose requires at least one step")
+        for name, func in steps:
+            if not callable(func):
+                raise ParameterError(f"step {name!r} is not callable")
+        self._steps = list(steps)
+
+    @property
+    def step_names(self) -> list[str]:
+        """Names of the pipeline stages, in application order."""
+        return [name for name, _ in self._steps]
+
+    def __call__(self, values) -> np.ndarray:
+        array = as_float_array(values, "values")
+        for _, func in self._steps:
+            array = as_float_array(func(array), "transformed values")
+        return array
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Compose({' -> '.join(self.step_names)})"
+
+
+def describe_pipeline(pipeline: Compose) -> str:
+    """One-line human description used in benchmark output rows."""
+    return " -> ".join(pipeline.step_names)

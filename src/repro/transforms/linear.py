@@ -1,0 +1,33 @@
+"""Linear transform (paper attack A4).
+
+"There might be value in actual data trends, that Mallory could still
+exploit, by scaling the initial values" — i.e. publishing ``a*x + b``
+instead of ``x``.  The paper handles this in the initial normalization
+step (footnote 1): re-normalizing the attacked stream recovers the same
+canonical values, so detection is invariant to positive linear maps.
+:func:`linear_transform` is the attack; the defense lives in
+:class:`repro.streams.normalize.Normalizer`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.util.validation import as_float_array
+
+
+def linear_transform(values, scale: float = 1.0, offset: float = 0.0) -> np.ndarray:
+    """Return ``scale * values + offset``.
+
+    ``scale`` must be non-zero; a negative scale flips the stream (minima
+    become maxima), which re-normalization does *not* undo — the paper's
+    model only claims resilience to value-preserving (positive) scalings,
+    and the test-suite documents the negative-scale limitation.
+    """
+    array = as_float_array(values, "values")
+    if scale == 0.0:
+        raise ParameterError("scale must be non-zero (zero destroys the data)")
+    if not np.isfinite(scale) or not np.isfinite(offset):
+        raise ParameterError("scale and offset must be finite")
+    return scale * array + offset

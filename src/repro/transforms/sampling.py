@@ -1,0 +1,74 @@
+"""Sampling transforms (paper Sec 2.2, attack A2).
+
+*Uniform random sampling of degree σ* turns ``(x[.], ς)`` into
+``(x'[.], ς/σ)`` by choosing, out of every contiguous σ-sized chunk of
+the original, one value at a uniformly random in-chunk position.
+
+*Fixed random sampling of degree σ* is the paper's "subtle variation":
+always the first element of each chunk is kept.
+
+Both transforms destroy timestamps and shrink characteristic subsets by
+a factor of about σ — which is exactly what the degree-estimation module
+(:mod:`repro.core.degree`) exploits to re-calibrate majorness at
+detection time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.util.rng import make_rng
+from repro.util.validation import as_float_array
+
+
+def _check_degree(degree: int, n_items: int) -> None:
+    if degree < 1:
+        raise ParameterError(f"sampling degree must be >= 1, got {degree}")
+    if degree > n_items:
+        raise ParameterError(
+            f"sampling degree {degree} exceeds stream length {n_items}"
+        )
+
+
+def uniform_random_sampling(values, degree: int,
+                            rng: "int | np.random.Generator | None" = None
+                            ) -> np.ndarray:
+    """Keep one uniformly-chosen value from every ``degree``-sized chunk.
+
+    The trailing partial chunk (fewer than ``degree`` items) also
+    contributes one sample, drawn uniformly from whatever it holds, so no
+    stream suffix is silently dropped.
+
+    >>> out = uniform_random_sampling(range(100), degree=10, rng=0)
+    >>> len(out)
+    10
+    """
+    array = as_float_array(values, "values")
+    _check_degree(degree, array.size)
+    if degree == 1:
+        return array.copy()
+    generator = make_rng(rng)
+    n_full = array.size // degree
+    offsets = generator.integers(0, degree, size=n_full)
+    indices = np.arange(n_full) * degree + offsets
+    remainder = array.size - n_full * degree
+    if remainder > 0:
+        tail_index = n_full * degree + int(generator.integers(0, remainder))
+        indices = np.concatenate([indices, [tail_index]])
+    return array[indices]
+
+
+def fixed_random_sampling(values, degree: int) -> np.ndarray:
+    """Keep the first element of every ``degree``-sized chunk.
+
+    Deterministic decimation — the paper's *fixed random sampling*.
+
+    >>> fixed_random_sampling([0., 1., 2., 3., 4., 5.], degree=2).tolist()
+    [0.0, 2.0, 4.0]
+    """
+    array = as_float_array(values, "values")
+    _check_degree(degree, array.size)
+    if degree == 1:
+        return array.copy()
+    return array[::degree].copy()

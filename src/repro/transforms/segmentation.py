@@ -1,0 +1,46 @@
+"""Segmentation transform (paper Sec 2.1, attack A3).
+
+Mallory re-sells a finite chunk of the stream; the detector must be able
+to recover the watermark from that chunk alone.  Sec 5 derives the
+minimum segment size that beats a coin-flip (``η(σ, δ) · % `` items for a
+one-bit mark) and Fig 10(a) measures detected bias as a function of
+segment size — :func:`random_segment` is the workload generator for that
+experiment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.util.rng import make_rng
+from repro.util.validation import as_float_array
+
+
+def segment(values, start: int, length: int) -> np.ndarray:
+    """Extract the contiguous segment ``[start, start + length)``."""
+    array = as_float_array(values, "values")
+    if length <= 0:
+        raise ParameterError(f"segment length must be positive, got {length}")
+    if start < 0 or start + length > array.size:
+        raise ParameterError(
+            f"segment [{start}, {start + length}) outside stream of "
+            f"{array.size} items"
+        )
+    return array[start:start + length].copy()
+
+
+def random_segment(values, length: int,
+                   rng: "int | np.random.Generator | None" = None
+                   ) -> np.ndarray:
+    """Extract a uniformly positioned segment of ``length`` items."""
+    array = as_float_array(values, "values")
+    if length <= 0:
+        raise ParameterError(f"segment length must be positive, got {length}")
+    if length > array.size:
+        raise ParameterError(
+            f"segment length {length} exceeds stream length {array.size}"
+        )
+    generator = make_rng(rng)
+    start = int(generator.integers(0, array.size - length + 1))
+    return segment(array, start, length)

@@ -1,0 +1,77 @@
+"""Summarization transform (paper Sec 2.2, attack A1).
+
+*Summarization of degree σ* replaces each contiguous, non-overlapping
+σ-sized chunk of the stream by its average, turning ``(x[.], ς)`` into
+``(x'[.], ς/σ)``.
+
+This is the transform that breaks every prior relational/itemized
+watermarking scheme (paper Sec 2.3) and the one the multi-hash encoding
+is specifically built to survive: a summarized chunk that falls entirely
+inside a characteristic subset ``ξ(ε, δ) = {x1..xa}`` *is* one of the
+``m_ij`` sub-range averages the encoding constrains.
+
+The paper's conclusions propose investigating other aggregates (min,
+max, most-likely-value) as future work; :func:`summarize` exposes those
+through ``aggregate=`` so the benchmark harness can run the extension
+experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.util.validation import as_float_array
+
+_AGGREGATES = ("mean", "min", "max", "median")
+
+
+def summarize(values, degree: int, aggregate: str = "mean",
+              keep_partial: bool = True) -> np.ndarray:
+    """Replace each ``degree``-sized chunk by an aggregate value.
+
+    Parameters
+    ----------
+    values:
+        Stream values.
+    degree:
+        Chunk size σ; the output has ``ceil(n / degree)`` items (or
+        ``floor`` when ``keep_partial`` is false).
+    aggregate:
+        ``"mean"`` (the paper's definition) or one of the future-work
+        aggregates ``"min"``, ``"max"``, ``"median"``.
+    keep_partial:
+        Whether the trailing partial chunk contributes an output item.
+
+    >>> summarize([1., 2., 3., 4.], degree=2).tolist()
+    [1.5, 3.5]
+    """
+    array = as_float_array(values, "values")
+    if degree < 1:
+        raise ParameterError(f"summarization degree must be >= 1, got {degree}")
+    if degree > array.size:
+        raise ParameterError(
+            f"summarization degree {degree} exceeds stream length {array.size}"
+        )
+    if aggregate not in _AGGREGATES:
+        raise ParameterError(
+            f"unknown aggregate {aggregate!r}; choose one of {_AGGREGATES}"
+        )
+    if degree == 1:
+        return array.copy()
+
+    n_full = array.size // degree
+    body = array[: n_full * degree].reshape(n_full, degree)
+    reducer = {
+        "mean": np.mean,
+        "min": np.min,
+        "max": np.max,
+        "median": np.median,
+    }[aggregate]
+    out = reducer(body, axis=1)
+
+    remainder = array.size - n_full * degree
+    if keep_partial and remainder > 0:
+        tail = reducer(array[n_full * degree:])
+        out = np.concatenate([out, [tail]])
+    return np.asarray(out, dtype=np.float64)

@@ -1,0 +1,43 @@
+"""Low-level utilities shared across the :mod:`repro` package.
+
+Contents
+--------
+:mod:`repro.util.bitops`
+    Bit-level helpers implementing the paper's ``b(x)``, ``msb(x, b)`` and
+    ``lsb(x, b)`` notation plus guard-bit manipulation.
+:mod:`repro.util.hashing`
+    The keyed one-way hash ``H(V, k) = crypto_hash(k; V; k)`` used by the
+    selection criterion, the bit-position derivation and the multi-hash
+    bit-encoding convention.
+:mod:`repro.util.rng`
+    Seeded random-number helpers so every experiment is replayable.
+:mod:`repro.util.validation`
+    Small argument validators shared by public entry points.
+"""
+
+from repro.util.bitops import (
+    bit_length,
+    clear_bit,
+    get_bit,
+    lsb,
+    msb,
+    set_bit,
+    with_bit,
+)
+from repro.util.hashing import H, KeyedHasher, hash_to_int
+from repro.util.rng import make_rng, split_rng
+
+__all__ = [
+    "bit_length",
+    "clear_bit",
+    "get_bit",
+    "lsb",
+    "msb",
+    "set_bit",
+    "with_bit",
+    "H",
+    "KeyedHasher",
+    "hash_to_int",
+    "make_rng",
+    "split_rng",
+]

@@ -1,0 +1,146 @@
+"""The keyed one-way hash ``H(V, k)`` used throughout the scheme.
+
+The paper (Sec 2.2) relies on a cryptographic one-way hash and defines::
+
+    H(V, k) = crypto_hash(k ; V ; k)        (";" is concatenation)
+
+Only two properties are used: one-wayness (Mallory cannot invert the
+selection criterion) and diffusion (flipping one input bit flips about
+half the output bits, which is what makes the multi-hash encoding's
+output look random).  The proof-of-concept in the paper uses MD5; we
+default to MD5 for fidelity and allow SHA-256 via ``algorithm=``.
+
+The hash output is interpreted as a big-endian unsigned integer so it can
+feed the paper's ``H(...) mod phi`` selection and ``H(...) mod alpha``
+bit-position computations directly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.errors import KeyError_, ParameterError
+
+_SUPPORTED_ALGORITHMS = ("md5", "sha1", "sha256", "sha512")
+
+
+def _coerce_key(key: "bytes | str | int") -> bytes:
+    """Normalize a user-supplied secret key into non-empty bytes."""
+    if isinstance(key, bytes):
+        raw = key
+    elif isinstance(key, str):
+        raw = key.encode("utf-8")
+    elif isinstance(key, int):
+        if key < 0:
+            raise KeyError_("integer keys must be non-negative")
+        raw = key.to_bytes((key.bit_length() + 7) // 8 or 1, "big")
+    else:
+        raise KeyError_(f"unsupported key type: {type(key).__name__}")
+    if not raw:
+        raise KeyError_("secret key must not be empty")
+    return raw
+
+
+def _coerce_value(value: "int | bytes | str") -> bytes:
+    """Serialize a hash input deterministically.
+
+    Integers are encoded big-endian with a length prefix so that distinct
+    (value, width) pairs cannot collide by sharing a byte representation.
+    """
+    if isinstance(value, bool):
+        raise ParameterError("pass ints, not bools, to the hash")
+    if isinstance(value, int):
+        if value < 0:
+            raise ParameterError("hash inputs must be non-negative ints")
+        body = value.to_bytes((value.bit_length() + 7) // 8 or 1, "big")
+        return len(body).to_bytes(4, "big") + body
+    if isinstance(value, str):
+        body = value.encode("utf-8")
+        return len(body).to_bytes(4, "big") + body
+    if isinstance(value, bytes):
+        return len(value).to_bytes(4, "big") + value
+    raise ParameterError(f"unsupported hash input type: {type(value).__name__}")
+
+
+def hash_to_int(data: bytes, algorithm: str = "md5") -> int:
+    """Hash raw bytes and return the digest as a big-endian integer."""
+    if algorithm not in _SUPPORTED_ALGORITHMS:
+        raise ParameterError(
+            f"unsupported hash algorithm {algorithm!r}; "
+            f"choose one of {_SUPPORTED_ALGORITHMS}"
+        )
+    digest = hashlib.new(algorithm, data).digest()
+    return int.from_bytes(digest, "big")
+
+
+def H(value: "int | bytes | str", key: "bytes | str | int",
+      algorithm: str = "md5") -> int:
+    """The paper's ``H(V, k) = crypto_hash(k; V; k)`` as an integer.
+
+    >>> H(42, b"k1") == H(42, b"k1")
+    True
+    >>> H(42, b"k1") != H(43, b"k1")
+    True
+    """
+    key_bytes = _coerce_key(key)
+    payload = key_bytes + _coerce_value(value) + key_bytes
+    return hash_to_int(payload, algorithm)
+
+
+@dataclass(frozen=True)
+class KeyedHasher:
+    """A reusable ``H(., k1)`` bound to one secret key.
+
+    The embedder, detector and selection criterion all share a single
+    :class:`KeyedHasher` so the key is threaded through the system once.
+
+    Parameters
+    ----------
+    key:
+        The secret ``k1`` from the paper.  Accepts bytes, str or int.
+    algorithm:
+        Hash algorithm name (default ``"md5"``, as in the paper's
+        proof-of-concept implementation).
+    """
+
+    key: bytes = field(repr=False)
+    algorithm: str = "md5"
+
+    def __init__(self, key: "bytes | str | int", algorithm: str = "md5"):
+        object.__setattr__(self, "key", _coerce_key(key))
+        if algorithm not in _SUPPORTED_ALGORITHMS:
+            raise ParameterError(
+                f"unsupported hash algorithm {algorithm!r}; "
+                f"choose one of {_SUPPORTED_ALGORITHMS}"
+            )
+        object.__setattr__(self, "algorithm", algorithm)
+
+    def hash_int(self, value: "int | bytes | str") -> int:
+        """Return ``H(value, key)`` as an unbounded integer."""
+        return H(value, self.key, self.algorithm)
+
+    def mod(self, value: "int | bytes | str", modulus: int) -> int:
+        """Return ``H(value, key) mod modulus`` (paper's selection form)."""
+        if modulus <= 0:
+            raise ParameterError(f"modulus must be positive, got {modulus}")
+        return self.hash_int(value) % modulus
+
+    def low_bits(self, value: "int | bytes | str", n_bits: int) -> int:
+        """Return the ``n_bits`` least significant bits of ``H(value, key)``.
+
+        This is the ``lsb(H(...), omega)`` operation of the multi-hash
+        bit-encoding convention (paper Sec 4.3).
+        """
+        if n_bits <= 0:
+            raise ParameterError(f"n_bits must be positive, got {n_bits}")
+        return self.hash_int(value) & ((1 << n_bits) - 1)
+
+    def derive(self, purpose: str) -> "KeyedHasher":
+        """Return a domain-separated sub-hasher for an auxiliary purpose.
+
+        Used to keep e.g. the additive-attack distribution fitting and
+        the encoding convention from sharing hash inputs with selection.
+        """
+        sub_key = hashlib.sha256(self.key + purpose.encode("utf-8")).digest()
+        return KeyedHasher(sub_key, self.algorithm)

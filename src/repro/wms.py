@@ -1,0 +1,84 @@
+"""``wms`` — the paper's notation, as a thin compatibility layer.
+
+The paper's proof-of-concept was called ``wms.*`` and its pseudo-code
+uses ``wm_embed`` / ``wm_detect`` / ``wm_construct`` (Figs 3-4).  This
+module exposes the library under exactly those names and argument
+shapes, for readers working side-by-side with the paper:
+
+>>> from repro import wms
+>>> stream = wms.synthetic_stream(eta=100, n_items=6000, seed=1)
+>>> marked = wms.wm_embed(stream, wm="1", k1=b"secret")
+>>> buckets_t, buckets_f = wms.wm_detect(marked, b_wm=1, k1=b"secret")
+>>> wms.wm_construct(buckets_t, buckets_f, kappa=0)
+[True]
+
+The paper's greek parameters map onto :class:`WatermarkParams` fields:
+σ→``sigma``, δ→``delta``, φ→``phi``, λ→``lambda_bits``, %→``skip``,
+ω→``omega``, α→``lsb_bits``, β→``msb_bits``, $→``window_size``,
+κ→``vote_threshold``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.detector import detect_watermark
+from repro.core.embedder import watermark_stream
+from repro.core.params import WatermarkParams
+from repro.streams.generators import TemperatureSensorGenerator
+
+
+def paper_params(sigma: int = 3, delta: float = 0.02, phi: int = 2,
+                 lam: int = 16, skip: int = 2, omega: int = 1,
+                 alpha: int = 16, beta: int = 5,
+                 window: int = 2048, kappa: int = 0) -> WatermarkParams:
+    """Build :class:`WatermarkParams` from the paper's symbol names."""
+    return WatermarkParams(sigma=sigma, delta=delta, phi=phi,
+                           lambda_bits=lam, skip=skip, omega=omega,
+                           lsb_bits=alpha, msb_bits=beta,
+                           window_size=window, vote_threshold=kappa)
+
+
+def synthetic_stream(eta: int = 100, n_items: int = 5000,
+                     seed: "int | None" = None,
+                     rate_hz: float = 100.0) -> np.ndarray:
+    """The Sec-6 synthetic temperature stream, by its paper knobs."""
+    return TemperatureSensorGenerator(eta=eta, seed=seed,
+                                      rate_hz=rate_hz).generate(n_items)
+
+
+def wm_embed(x, wm, k1, params: "WatermarkParams | None" = None
+             ) -> np.ndarray:
+    """Fig 3's ``wm_embed(sigma, delta, phi, wm, k1, alpha)``.
+
+    Parameters travel inside ``params`` (they are all secrets of the
+    same key holder); returns the watermarked stream.
+    """
+    marked, _ = watermark_stream(x, wm, k1, params=params)
+    return marked
+
+
+def wm_detect(x, b_wm: int, k1, params: "WatermarkParams | None" = None,
+              rho: float = 1.0) -> tuple[list[int], list[int]]:
+    """Fig 4's ``wm_detect``: returns the (wm^T, wm^F) bucket arrays."""
+    result = detect_watermark(x, b_wm, k1, params=params,
+                              transform_degree=rho)
+    return list(result.buckets_true), list(result.buckets_false)
+
+
+def wm_construct(buckets_t: list[int], buckets_f: list[int],
+                 kappa: int = 0) -> "list[bool | None]":
+    """Fig 4's ``wm_construct``: bucket difference vs threshold κ.
+
+    ``None`` entries are the paper's "undefined" bits — the verdict on
+    un-watermarked data.
+    """
+    estimate: "list[bool | None]" = []
+    for t, f in zip(buckets_t, buckets_f):
+        if t - f > kappa:
+            estimate.append(True)
+        elif f - t > kappa:
+            estimate.append(False)
+        else:
+            estimate.append(None)
+    return estimate

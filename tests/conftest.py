@@ -1,0 +1,50 @@
+"""Shared fixtures.
+
+Embedding is the expensive operation, so watermarked reference streams
+are produced once per session and shared read-only; tests that need to
+mutate data copy first.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import WatermarkParams, watermark_stream
+from repro.streams import GaussianStream, TemperatureSensorGenerator
+
+#: Secret key shared by the reference fixtures.
+KEY = b"test-key-k1"
+
+
+@pytest.fixture(scope="session")
+def params() -> WatermarkParams:
+    """Library-default parameters (the calibrated reference setup)."""
+    return WatermarkParams()
+
+
+@pytest.fixture(scope="session")
+def small_stream() -> np.ndarray:
+    """A short synthetic stream for cheap unit-level checks."""
+    return TemperatureSensorGenerator(eta=60, seed=101).generate(3000)
+
+
+@pytest.fixture(scope="session")
+def reference_stream() -> np.ndarray:
+    """The Sec-6-style reference stream: eta ~= 100, ~8000 items."""
+    return TemperatureSensorGenerator(eta=100, seed=7).generate(8000)
+
+
+@pytest.fixture(scope="session")
+def marked_reference(reference_stream, params):
+    """One-bit watermarked reference stream plus its embed report."""
+    marked, report = watermark_stream(reference_stream, watermark="1",
+                                      key=KEY, params=params)
+    marked.setflags(write=False)
+    return marked, report
+
+
+@pytest.fixture(scope="session")
+def random_stream() -> np.ndarray:
+    """Unwatermarked i.i.d. data for false-positive checks."""
+    return GaussianStream(seed=33).generate(8000)

@@ -1,0 +1,187 @@
+"""Resilience to Mallory's attacks (paper Secs 4.1, 4.3, 5, 6.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import detect_watermark, watermark_stream
+from repro.attacks.additive import additive_attack
+from repro.attacks.bias_detection import bias_detection_attack
+from repro.attacks.correlation import correlation_attack
+from repro.attacks.epsilon import epsilon_attack
+from repro.attacks.extreme_attack import targeted_extreme_attack
+from tests.conftest import KEY
+
+
+class TestEpsilonAttacks:
+    def test_mild_attack_survived(self, marked_reference, params):
+        marked, _ = marked_reference
+        attacked = epsilon_attack(marked, tau=0.1, epsilon=0.1, rng=1)
+        result = detect_watermark(attacked, 1, KEY, params=params)
+        assert result.bias(0) >= 25
+
+    def test_paper_headline_tau50_eps10(self, marked_reference, params):
+        """Fig 7(b): half the data altered within 10% still detects."""
+        marked, _ = marked_reference
+        attacked = epsilon_attack(marked, tau=0.5, epsilon=0.1, rng=1)
+        result = detect_watermark(attacked, 1, KEY, params=params)
+        assert result.bias(0) >= 8
+        assert result.confidence(0) > 0.99
+
+    def test_bias_decreases_with_severity(self, marked_reference, params):
+        """Fig 7(a)'s monotone decay over (tau, epsilon)."""
+        marked, _ = marked_reference
+        biases = []
+        for tau, eps in [(0.0, 0.0), (0.2, 0.1), (0.6, 0.3)]:
+            if tau == 0.0:
+                attacked = marked
+            else:
+                attacked = epsilon_attack(marked, tau=tau, epsilon=eps,
+                                          rng=1)
+            biases.append(detect_watermark(attacked, 1, KEY,
+                                           params=params).bias(0))
+        assert biases[0] > biases[1] > biases[2]
+
+
+class TestAdditiveAttack:
+    def test_insertion_survived(self, marked_reference, params):
+        marked, _ = marked_reference
+        attacked = additive_attack(marked, fraction=0.1, rng=5)
+        result = detect_watermark(attacked, 1, KEY, params=params)
+        assert result.bias(0) >= 15
+
+
+class TestTargetedExtremeAttack:
+    def test_sec5_attack_only_weakens(self, marked_reference, params):
+        """a1=5, a2=50%: the analysis predicts mild weakening, not loss."""
+        marked, _ = marked_reference
+        clean_bias = detect_watermark(marked, 1, KEY, params=params).bias(0)
+        attacked, report = targeted_extreme_attack(marked, a1=5, a2=0.5,
+                                                   rng=11)
+        assert report.extremes_attacked > 0
+        result = detect_watermark(attacked, 1, KEY, params=params)
+        assert result.bias(0) >= clean_bias * 0.4
+
+
+class TestCorrelationAblation:
+    """Sec 4.1: bucket counting breaks value-derived positions, not
+    label-derived ones.  This is the paper's central design argument.
+
+    The statistics need volume: Mallory's per-bucket bit frequencies
+    separate cleanly once buckets hold tens of extremes, so the ablation
+    runs on a longer stream than the other fixtures.
+    """
+
+    #: Mallory's settings: enough bucket volume for clean statistics.
+    ATTACK = dict(beta_guess=5, alpha_guess=16, rng=7, prominence=0.05,
+                  delta=0.02, bias_threshold=0.25, min_bucket=10)
+    #: Detection settings for the pure Sec-3.2 scheme.
+    INITIAL = dict(encoding="initial", require_labels=False,
+                   encoding_options={"use_label_positions": False})
+
+    @pytest.fixture(scope="class")
+    def long_stream(self):
+        from repro.streams import TemperatureSensorGenerator
+
+        return TemperatureSensorGenerator(eta=100, seed=7).generate(30000)
+
+    @pytest.fixture(scope="class")
+    def vulnerable_marked(self, long_stream, params):
+        marked, _ = watermark_stream(long_stream, "1", KEY, params=params,
+                                     **self.INITIAL)
+        return marked
+
+    @pytest.fixture(scope="class")
+    def multihash_marked(self, long_stream, params):
+        marked, _ = watermark_stream(long_stream, "1", KEY, params=params)
+        return marked
+
+    def test_initial_scheme_leaks_locations(self, long_stream,
+                                            vulnerable_marked,
+                                            multihash_marked):
+        """Flag counts: initial >> clean ~ multihash.
+
+        The attack reveals mark-carrying positions in the value-derived
+        scheme, while the labeled multi-hash stream is statistically
+        indistinguishable from unwatermarked data.
+        """
+        _, on_clean = correlation_attack(long_stream.copy(), **self.ATTACK)
+        _, on_initial = correlation_attack(vulnerable_marked.copy(),
+                                           **self.ATTACK)
+        _, on_multihash = correlation_attack(multihash_marked.copy(),
+                                             **self.ATTACK)
+        assert on_initial.positions_found >= \
+            3 * max(1, on_clean.positions_found)
+        assert on_multihash.positions_found <= \
+            2 * max(2, on_clean.positions_found)
+
+    def test_attack_destroys_initial_scheme(self, vulnerable_marked,
+                                            params):
+        clean = detect_watermark(vulnerable_marked, 1, KEY, params=params,
+                                 **self.INITIAL)
+        attacked, _ = correlation_attack(vulnerable_marked.copy(),
+                                         **self.ATTACK)
+        broken = detect_watermark(attacked, 1, KEY, params=params,
+                                  **self.INITIAL)
+        assert clean.bias(0) >= 100
+        assert broken.bias(0) <= clean.bias(0) * 0.6
+
+    def test_labeled_multihash_resists_attack(self, multihash_marked,
+                                              params):
+        attacked, _ = correlation_attack(multihash_marked.copy(),
+                                         **self.ATTACK)
+        clean_bias = detect_watermark(multihash_marked, 1, KEY,
+                                      params=params).bias(0)
+        after_bias = detect_watermark(attacked, 1, KEY,
+                                      params=params).bias(0)
+        # Nothing is flagged beyond noise, so next to nothing is damaged.
+        assert after_bias >= clean_bias * 0.75
+
+
+class TestBiasDetectionAblation:
+    """Sec 4.3: subset-consistency scanning breaks the guarded-bit
+    encoding; the multi-hash encoding leaves nothing to find."""
+
+    def test_initial_encoding_fingerprint_found(self, reference_stream,
+                                                params):
+        marked, _ = watermark_stream(reference_stream, "1", KEY,
+                                     params=params, encoding="initial")
+        attacked, report = bias_detection_attack(
+            marked, alpha_guess=params.lsb_bits, rng=9,
+            prominence=params.prominence, delta=params.delta)
+        assert report.flagged_extremes > 0
+        clean = detect_watermark(marked, 1, KEY, params=params,
+                                 encoding="initial")
+        broken = detect_watermark(attacked, 1, KEY, params=params,
+                                  encoding="initial")
+        assert broken.bias(0) <= clean.bias(0) * 0.6
+
+    def test_multihash_leaves_no_fingerprint(self, marked_reference,
+                                             params):
+        marked, _ = marked_reference
+        _, report = bias_detection_attack(
+            marked, alpha_guess=params.lsb_bits, rng=9,
+            prominence=params.prominence, delta=params.delta)
+        # Hash-targeted alterations are indistinguishable from noise: the
+        # unanimity+guard fingerprint must be (near) absent.
+        assert report.flagged_extremes <= 2
+
+
+class TestNullHypothesis:
+    """False positives: unwatermarked and wrong-key data stay undecided."""
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_random_streams_low_bias(self, params, seed):
+        from repro.streams import GaussianStream
+
+        data = GaussianStream(seed=seed).generate(8000)
+        result = detect_watermark(data, 1, KEY, params=params)
+        fp = result.exact_false_positive(0)
+        # Exact binomial tail must not be extreme on null data.
+        assert fp > 1e-4 or result.votes(0) == 0
+
+    def test_threshold_marks_null_undefined(self, random_stream, params):
+        result = detect_watermark(random_stream, 1, KEY, params=params)
+        estimate = result.wm_estimate(threshold=15)
+        assert estimate == [None]

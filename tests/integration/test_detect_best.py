@@ -1,0 +1,52 @@
+"""Tests for multi-pass offline detection (detect_best)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.detector import detect_best
+from repro.transforms.sampling import uniform_random_sampling
+from tests.conftest import KEY
+
+
+class TestDetectBest:
+    def test_picks_rho_one_for_untransformed(self, marked_reference,
+                                             params):
+        marked, report = marked_reference
+        result, degree = detect_best(
+            marked, 1, KEY, params=params,
+            reference_subset_size=report.average_subset_size)
+        assert degree == pytest.approx(1.0, abs=0.3)
+        assert result.bias(0) >= 30
+
+    def test_picks_estimated_rho_for_sampled(self, marked_reference,
+                                             params):
+        marked, report = marked_reference
+        sampled = uniform_random_sampling(marked, 4, rng=1)
+        result, degree = detect_best(
+            sampled, 1, KEY, params=params,
+            reference_subset_size=report.average_subset_size)
+        assert degree > 1.5  # the shrinkage estimate won
+        assert result.bias(0) >= 10
+
+    def test_explicit_candidates(self, marked_reference, params):
+        marked, _ = marked_reference
+        result, degree = detect_best(marked, 1, KEY, params=params,
+                                     candidate_degrees=[1.0, 3.0, 6.0])
+        assert degree == 1.0
+        assert result.bias(0) >= 30
+
+    def test_expected_payload_scores_signed(self, marked_reference,
+                                            params):
+        """With the payload known, scoring favours evidence toward it."""
+        marked, report = marked_reference
+        with_expected, _ = detect_best(
+            marked, 1, KEY, params=params, expected="1",
+            reference_subset_size=report.average_subset_size)
+        assert with_expected.bias(0) >= 30
+
+    def test_single_default_candidate(self, marked_reference, params):
+        marked, _ = marked_reference
+        result, degree = detect_best(marked, 1, KEY, params=params)
+        assert degree == 1.0
+        assert result.bias(0) >= 30

@@ -1,0 +1,69 @@
+"""Reduced-scale integration runs of the figure experiments.
+
+The benchmarks run these at full scale; here each figure function is
+exercised end-to-end at small scale so a regression in any experiment
+module fails the ordinary test suite, not just the benchmark pass.
+The expensive IRTF embedding is process-cached, so the whole module
+costs one embed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig07_wm_epsilon import run_fig7b
+from repro.experiments.fig08_labels_transforms import run_fig8a, run_fig8b
+from repro.experiments.fig09_wm_transforms import run_fig9a, run_fig9b
+from repro.experiments.fig10_segmentation import run_fig10a, run_fig10b
+from repro.experiments.fig11_overhead_quality import run_fig11a
+from repro.experiments.sec5_attack_model import run_sec5_attack_model
+from repro.experiments.throughput import run_throughput
+
+
+class TestFigureFunctionsSmallScale:
+    def test_fig7b(self):
+        result = run_fig7b(scale=0.3)
+        assert result.rows[0]["tau"] == 0.0
+        assert result.rows[0]["bias"] >= 20
+
+    def test_fig8a(self):
+        result = run_fig8a(scale=0.4)
+        assert len(result.rows) == 5
+        assert all(0 <= r["labels_altered_pct"] <= 100 for r in result.rows)
+
+    def test_fig8b(self):
+        result = run_fig8b(scale=0.4)
+        assert result.rows[0]["degree"] == 2
+
+    def test_fig9_pair(self):
+        summ = run_fig9a(scale=0.3)
+        samp = run_fig9b(scale=0.3)
+        assert summ.rows[0]["bias"] >= 10
+        assert samp.rows[0]["bias"] >= 10
+
+    def test_fig10a(self):
+        result = run_fig10a(scale=0.3, placements=1)
+        sizes = result.column("segment_size")
+        assert sizes == sorted(sizes)
+
+    def test_fig10b_orders_present(self):
+        result = run_fig10b(scale=0.3)
+        orders = {row["order"] for row in result.rows}
+        assert orders == {"sample-then-summarize", "summarize-then-sample"}
+
+    def test_fig11a_exponential_columns(self):
+        result = run_fig11a(scale=0.4)
+        expected = result.column("expected_random")
+        assert expected == sorted(expected)
+        assert all(row["measured_pruned"] > 0 for row in result.rows)
+
+    def test_sec5_model(self):
+        result = run_sec5_attack_model(scale=0.3)
+        for row in result.rows:
+            assert 0.0 <= row["predicted_survival"] <= 1.0
+
+    @pytest.mark.slow
+    def test_throughput_ordering(self):
+        result = run_throughput(scale=0.4)
+        rows = {row["configuration"]: row["seconds"] for row in result.rows}
+        assert rows["read-and-copy"] < rows["initial"]

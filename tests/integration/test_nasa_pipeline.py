@@ -1,0 +1,66 @@
+"""The "(real data)" pipeline: synthetic-IRTF month, end to end."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Normalizer, detect_watermark, watermark_stream
+from repro.experiments.config import irtf_params
+from repro.streams.nasa import synthetic_irtf_month
+from repro.transforms.sampling import uniform_random_sampling
+from repro.transforms.summarization import summarize
+from tests.conftest import KEY
+
+
+@pytest.fixture(scope="module")
+def iparams():
+    """The per-deployment tuning for the IRTF feed (see experiments)."""
+    return irtf_params()
+
+
+@pytest.fixture(scope="module")
+def irtf_marked(iparams):
+    values, meta = synthetic_irtf_month()
+    normalizer = Normalizer(low=0.0, high=35.0)
+    normalized = normalizer.normalize(values)
+    marked, report = watermark_stream(normalized, "1", KEY, params=iparams)
+    return values, normalizer, marked, report
+
+
+class TestIrtfPipeline:
+    def test_watermark_detectable(self, irtf_marked, iparams):
+        _, _, marked, report = irtf_marked
+        assert report.embedded > 10
+        result = detect_watermark(marked, 1, KEY, params=iparams)
+        assert result.bias(0) >= 20
+        assert result.confidence(0) > 0.999
+
+    def test_physical_units_preserved(self, irtf_marked):
+        values, normalizer, marked, _ = irtf_marked
+        physical = normalizer.denormalize(marked)
+        # Per-reading distortion far below the sensor's usable precision.
+        assert np.max(np.abs(physical - values)) < 0.01  # degrees C
+        assert abs(np.mean(physical) - np.mean(values)) < 1e-3
+
+    def test_survives_sampling(self, irtf_marked, iparams):
+        _, _, marked, _ = irtf_marked
+        sampled = uniform_random_sampling(marked, 4, rng=2)
+        result = detect_watermark(sampled, 1, KEY, params=iparams,
+                                  transform_degree=4.0)
+        assert result.bias(0) >= 8
+
+    def test_survives_summarization(self, irtf_marked, iparams):
+        _, _, marked, _ = irtf_marked
+        summarized = summarize(marked, 3)
+        result = detect_watermark(summarized, 1, KEY, params=iparams,
+                                  transform_degree=3.0)
+        assert result.bias(0) >= 8
+
+    def test_auto_degree_estimation(self, irtf_marked, iparams):
+        _, _, marked, report = irtf_marked
+        sampled = uniform_random_sampling(marked, 3, rng=2)
+        result = detect_watermark(
+            sampled, 1, KEY, params=iparams, transform_degree="auto",
+            reference_subset_size=report.average_subset_size)
+        assert result.bias(0) >= 8

@@ -1,0 +1,94 @@
+"""End-to-end embed -> detect round trips across encodings."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import detect_watermark, watermark_stream
+from repro.core.confidence import confidence_from_bias
+from tests.conftest import KEY
+
+
+class TestOneBitRoundtrip:
+    def test_multihash_detects_with_high_confidence(self, marked_reference,
+                                                    params):
+        marked, report = marked_reference
+        result = detect_watermark(marked, 1, KEY, params=params)
+        assert result.bias(0) >= 30
+        assert result.confidence(0) > 0.999999
+        assert result.exact_false_positive(0) < 1e-6
+        assert result.wm_estimate() == [True]
+
+    @pytest.mark.parametrize("encoding", ["initial", "quadres"])
+    def test_alternative_encodings_roundtrip(self, reference_stream, params,
+                                             encoding):
+        marked, _ = watermark_stream(reference_stream, "1", KEY,
+                                     params=params, encoding=encoding)
+        result = detect_watermark(marked, 1, KEY, params=params,
+                                  encoding=encoding)
+        assert result.bias(0) >= 25
+        assert result.wm_estimate() == [True]
+
+    def test_zero_bit_watermark(self, reference_stream, params):
+        marked, _ = watermark_stream(reference_stream, "0", KEY,
+                                     params=params)
+        result = detect_watermark(marked, 1, KEY, params=params)
+        assert result.bias(0) <= -25
+        assert result.wm_estimate() == [False]
+
+    def test_wrong_key_detects_nothing(self, marked_reference, params):
+        marked, _ = marked_reference
+        result = detect_watermark(marked, 1, b"not-the-key", params=params)
+        assert abs(result.bias(0)) <= 12
+        assert result.exact_false_positive(0) > 1e-4
+
+    def test_unwatermarked_data_detects_nothing(self, random_stream, params):
+        result = detect_watermark(random_stream, 1, KEY, params=params)
+        assert abs(result.bias(0)) <= 14
+
+    def test_embedding_preserves_stream_closely(self, reference_stream,
+                                                marked_reference, params):
+        marked, report = marked_reference
+        assert marked.shape == reference_stream.shape
+        max_change = np.max(np.abs(marked - reference_stream))
+        assert max_change <= params.max_alteration
+        assert report.embedded > 0
+        assert report.search_failures == 0
+
+    def test_report_summary_keys(self, marked_reference):
+        _, report = marked_reference
+        summary = report.summary()
+        for key in ("items", "extremes", "majors", "selected", "embedded",
+                    "eta_estimate", "average_subset_size"):
+            assert key in summary
+
+    def test_confidence_rule_consistency(self, marked_reference, params):
+        marked, _ = marked_reference
+        result = detect_watermark(marked, 1, KEY, params=params)
+        assert result.confidence(0) == pytest.approx(
+            confidence_from_bias(result.bias(0)))
+
+
+class TestMultibitRoundtrip:
+    def test_ascii_payload_recovered(self, params):
+        from repro import bits_to_text
+        from repro.streams import TemperatureSensorGenerator
+
+        payload = "VLDB"
+        wm_bits = len(payload) * 8
+        stream = TemperatureSensorGenerator(eta=60, seed=77).generate(30000)
+        p = params.with_updates(phi=wm_bits + 1)
+        marked, _ = watermark_stream(stream, payload, KEY, params=p)
+        result = detect_watermark(marked, wm_bits, KEY, params=p)
+        assert result.match_fraction(payload) == 1.0
+        assert bits_to_text(result.wm_estimate()) == payload
+
+    def test_undecided_bits_reported_as_none(self, small_stream, params):
+        # Far too little data for 32 bits: most bits must stay undefined
+        # rather than being guessed.
+        p = params.with_updates(phi=33)
+        marked, _ = watermark_stream(small_stream, "ABCD", KEY, params=p)
+        result = detect_watermark(marked[:800], 32, KEY, params=p)
+        estimate = result.wm_estimate()
+        assert sum(1 for b in estimate if b is None) >= 16

@@ -1,0 +1,105 @@
+"""Single-pass streaming properties: chunking invariance, window bounds."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import StreamDetector, StreamWatermarker, watermark_stream
+from repro.core.quality import MaxPerItemChange, QualityMonitor
+from tests.conftest import KEY
+
+
+class TestChunkingInvariance:
+    @pytest.mark.parametrize("chunk_size", [97, 512, 4096])
+    def test_embedding_independent_of_chunking(self, reference_stream,
+                                               params, chunk_size):
+        """The watermarked stream must not depend on ingestion chunking."""
+        baseline, _ = watermark_stream(reference_stream, "1", KEY,
+                                       params=params, chunk_size=1024)
+        chunked, _ = watermark_stream(reference_stream, "1", KEY,
+                                      params=params, chunk_size=chunk_size)
+        assert np.array_equal(baseline, chunked)
+
+    def test_streaming_api_matches_offline(self, reference_stream, params):
+        embedder = StreamWatermarker("1", KEY, params=params)
+        pieces = []
+        for start in range(0, len(reference_stream), 333):
+            pieces.append(embedder.process(reference_stream[start:start + 333]))
+        pieces.append(embedder.finalize())
+        streamed = np.concatenate(pieces)
+        offline, _ = watermark_stream(reference_stream, "1", KEY,
+                                      params=params)
+        assert np.array_equal(streamed, offline)
+
+    def test_detection_independent_of_chunking(self, marked_reference,
+                                               params):
+        marked, _ = marked_reference
+        results = []
+        for chunk_size in (101, 1024):
+            detector = StreamDetector(1, KEY, params=params)
+            detector.run(marked, chunk_size=chunk_size)
+            results.append(detector.result())
+        assert results[0].buckets_true == results[1].buckets_true
+        assert results[0].buckets_false == results[1].buckets_false
+
+
+class TestWindowDiscipline:
+    def test_output_length_equals_input(self, reference_stream, params):
+        embedder = StreamWatermarker("1", KEY, params=params)
+        out = embedder.run(reference_stream)
+        assert len(out) == len(reference_stream)
+
+    def test_small_window_reports_missed_extremes(self, params):
+        """An undersized window degrades loudly, not silently."""
+        from repro.streams import TemperatureSensorGenerator
+
+        # eta = 600: pivot confirmation lags far beyond a 64-item window.
+        slow = TemperatureSensorGenerator(eta=600, seed=5).generate(6000)
+        tight = params.with_updates(window_size=64)
+        embedder = StreamWatermarker("1", KEY, params=tight)
+        embedder.run(slow)
+        assert embedder.report.counters.missed_evictions > 0
+
+    def test_incremental_results_accumulate(self, marked_reference, params):
+        marked, _ = marked_reference
+        detector = StreamDetector(1, KEY, params=params)
+        detector.process(marked[:4000])
+        early = detector.result().votes(0)
+        detector.process(marked[4000:])
+        detector.finalize()
+        late = detector.result().votes(0)
+        assert late >= early
+        assert late > 0
+
+
+class TestQualityIntegration:
+    def test_draconian_constraint_rolls_back_everything(self,
+                                                        reference_stream,
+                                                        params):
+        monitor = QualityMonitor([MaxPerItemChange(limit=1e-12)])
+        marked, report = watermark_stream(reference_stream, "1", KEY,
+                                          params=params, monitor=monitor)
+        assert report.quality_rollbacks > 0
+        assert report.altered_items == 0
+        assert np.array_equal(marked, reference_stream)
+
+    def test_loose_constraint_does_not_interfere(self, reference_stream,
+                                                 params):
+        monitor = QualityMonitor([MaxPerItemChange(limit=0.1)])
+        _, report = watermark_stream(reference_stream, "1", KEY,
+                                     params=params, monitor=monitor)
+        assert report.quality_rollbacks == 0
+        assert report.embedded > 0
+        assert monitor.stats.n_altered == report.altered_items
+
+    def test_monitor_tracks_drift_within_paper_bounds(self,
+                                                      reference_stream,
+                                                      params):
+        """Sec 6.4: mean/std drift well under 1% of the data scale."""
+        monitor = QualityMonitor()
+        _, report = watermark_stream(reference_stream, "1", KEY,
+                                     params=params, monitor=monitor)
+        scale = monitor.stats.std_original()
+        assert monitor.stats.mean_drift() < 0.0021 * scale
+        assert monitor.stats.std_drift() < 0.0027 * scale

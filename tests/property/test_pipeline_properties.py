@@ -1,0 +1,168 @@
+"""Hypothesis property tests on end-to-end pipeline invariants.
+
+These are the guarantees a downstream user relies on regardless of
+parameters, keys or data: embedding changes nothing but low bits, output
+length equals input length, chunking never changes results, detection is
+deterministic, and the embedded bit — not its complement — is what
+detection recovers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import WatermarkParams, detect_watermark, watermark_stream
+from repro.streams.generators import TemperatureSensorGenerator
+
+KEY_STRATEGY = st.binary(min_size=1, max_size=24)
+SEED_STRATEGY = st.integers(0, 2**31)
+
+#: Fast parameters for property runs: small stream, cheap search.
+FAST_PARAMS = WatermarkParams(active_run_length=2, max_subset_embed=6,
+                              lambda_bits=6, skip=1)
+
+slow_settings = settings(max_examples=10, deadline=None,
+                         suppress_health_check=[HealthCheck.too_slow])
+
+
+def make_stream(seed: int, n: int = 3000) -> np.ndarray:
+    return TemperatureSensorGenerator(eta=60, seed=seed).generate(n)
+
+
+class TestEmbeddingInvariants:
+    @slow_settings
+    @given(seed=SEED_STRATEGY, key=KEY_STRATEGY)
+    def test_length_preserved(self, seed, key):
+        stream = make_stream(seed)
+        marked, _ = watermark_stream(stream, "1", key, params=FAST_PARAMS)
+        assert marked.shape == stream.shape
+
+    @slow_settings
+    @given(seed=SEED_STRATEGY, key=KEY_STRATEGY)
+    def test_alterations_bounded_by_lsb_budget(self, seed, key):
+        stream = make_stream(seed)
+        marked, _ = watermark_stream(stream, "1", key, params=FAST_PARAMS)
+        assert np.max(np.abs(marked - stream)) <= FAST_PARAMS.max_alteration
+
+    @slow_settings
+    @given(seed=SEED_STRATEGY, key=KEY_STRATEGY,
+           bit=st.sampled_from(["0", "1"]))
+    def test_embedded_bit_recovered_not_complement(self, seed, key, bit):
+        stream = make_stream(seed)
+        marked, report = watermark_stream(stream, bit, key,
+                                          params=FAST_PARAMS)
+        if report.embedded < 8:
+            return  # too few carriers for a meaningful verdict
+        result = detect_watermark(marked, 1, key, params=FAST_PARAMS)
+        expected_sign = 1 if bit == "1" else -1
+        assert result.bias(0) * expected_sign > 0
+
+    @slow_settings
+    @given(seed=SEED_STRATEGY, key=KEY_STRATEGY,
+           chunk=st.sampled_from([173, 900, 5000]))
+    def test_chunking_never_changes_output(self, seed, key, chunk):
+        stream = make_stream(seed)
+        a, _ = watermark_stream(stream, "1", key, params=FAST_PARAMS,
+                                chunk_size=chunk)
+        b, _ = watermark_stream(stream, "1", key, params=FAST_PARAMS,
+                                chunk_size=1024)
+        assert np.array_equal(a, b)
+
+    @slow_settings
+    @given(seed=SEED_STRATEGY)
+    def test_different_keys_produce_different_marks(self, seed):
+        stream = make_stream(seed)
+        a, ra = watermark_stream(stream, "1", b"key-one",
+                                 params=FAST_PARAMS)
+        b, rb = watermark_stream(stream, "1", b"key-two",
+                                 params=FAST_PARAMS)
+        if ra.embedded and rb.embedded:
+            assert not np.array_equal(a, b)
+
+    @slow_settings
+    @given(seed=SEED_STRATEGY, key=KEY_STRATEGY)
+    def test_embedding_deterministic(self, seed, key):
+        stream = make_stream(seed)
+        a, _ = watermark_stream(stream, "1", key, params=FAST_PARAMS)
+        b, _ = watermark_stream(stream, "1", key, params=FAST_PARAMS)
+        assert np.array_equal(a, b)
+
+
+class TestDetectionInvariants:
+    @slow_settings
+    @given(seed=SEED_STRATEGY, key=KEY_STRATEGY)
+    def test_detection_deterministic(self, seed, key):
+        stream = make_stream(seed)
+        marked, _ = watermark_stream(stream, "1", key, params=FAST_PARAMS)
+        r1 = detect_watermark(marked, 1, key, params=FAST_PARAMS)
+        r2 = detect_watermark(marked, 1, key, params=FAST_PARAMS)
+        assert r1.buckets_true == r2.buckets_true
+        assert r1.buckets_false == r2.buckets_false
+
+    @slow_settings
+    @given(seed=SEED_STRATEGY, key=KEY_STRATEGY)
+    def test_buckets_bounded_by_selected(self, seed, key):
+        stream = make_stream(seed)
+        marked, _ = watermark_stream(stream, "1", key, params=FAST_PARAMS)
+        result = detect_watermark(marked, 1, key, params=FAST_PARAMS)
+        total_votes = result.votes(0) + result.abstentions
+        assert total_votes <= result.counters.selected
+
+    @slow_settings
+    @given(seed=SEED_STRATEGY, key=KEY_STRATEGY,
+           threshold=st.integers(0, 30))
+    def test_higher_threshold_never_decides_more(self, seed, key,
+                                                 threshold):
+        stream = make_stream(seed)
+        marked, _ = watermark_stream(stream, "1", key, params=FAST_PARAMS)
+        result = detect_watermark(marked, 1, key, params=FAST_PARAMS)
+        decided_low = sum(b is not None for b in result.wm_estimate(0))
+        decided_high = sum(b is not None
+                           for b in result.wm_estimate(threshold))
+        assert decided_high <= decided_low
+
+    @slow_settings
+    @given(seed=SEED_STRATEGY)
+    def test_confidence_consistent_with_bias(self, seed):
+        stream = make_stream(seed)
+        marked, _ = watermark_stream(stream, "1", b"prop-key",
+                                     params=FAST_PARAMS)
+        result = detect_watermark(marked, 1, b"prop-key",
+                                  params=FAST_PARAMS)
+        bias = result.bias(0)
+        confidence = result.confidence(0)
+        if bias <= 0:
+            assert confidence == 0.0
+        else:
+            assert confidence == pytest.approx(1.0 - 2.0 ** -bias)
+
+
+class TestTransformCommutation:
+    @slow_settings
+    @given(seed=SEED_STRATEGY, degree=st.integers(2, 5))
+    def test_fixed_sampling_of_marked_equals_marked_subsequence(self, seed,
+                                                                degree):
+        """Fixed sampling is pure decimation: the surviving values are
+        bit-identical to the embedder's output at those positions."""
+        from repro.transforms.sampling import fixed_random_sampling
+
+        stream = make_stream(seed)
+        marked, _ = watermark_stream(stream, "1", b"k", params=FAST_PARAMS)
+        sampled = fixed_random_sampling(marked, degree)
+        assert np.array_equal(sampled, marked[::degree])
+
+    @slow_settings
+    @given(seed=SEED_STRATEGY, degree=st.integers(2, 4))
+    def test_summarized_values_are_chunk_means_of_marked(self, seed,
+                                                         degree):
+        from repro.transforms.summarization import summarize
+
+        stream = make_stream(seed)
+        marked, _ = watermark_stream(stream, "1", b"k", params=FAST_PARAMS)
+        out = summarize(marked, degree, keep_partial=False)
+        n = (len(marked) // degree) * degree
+        expected = marked[:n].reshape(-1, degree).mean(axis=1)
+        assert np.array_equal(out, expected)

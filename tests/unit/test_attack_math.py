@@ -1,0 +1,98 @@
+"""Tests for the Sec-5 attack mathematics — the paper's worked numbers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.attack_math import (
+    altered_pair_count,
+    attack_success_probability,
+    extra_data_fraction,
+    prob_all_removed,
+    weakening_factor,
+)
+from repro.errors import ParameterError
+
+
+class TestAlteredPairCount:
+    def test_paper_example(self):
+        # a=6, a2=50%: c_m = 15 (the paper's x+t = 15).
+        assert altered_pair_count(6, 0.5) == 15.0
+
+    def test_full_alteration_kills_all_pairs(self):
+        # a2=1: every one of the a(a+1)/2 averages contains an altered
+        # item: c_m = a(a+1)/2.
+        for a in (3, 5, 8):
+            assert altered_pair_count(a, 1.0) == a * (a + 1) / 2
+
+    def test_monotone_in_a2(self):
+        values = [altered_pair_count(6, a2) for a2 in (0.2, 0.5, 0.9)]
+        assert values[0] < values[1] < values[2]
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            altered_pair_count(0, 0.5)
+        with pytest.raises(ParameterError):
+            altered_pair_count(5, 0.0)
+
+
+class TestProbAllRemoved:
+    def test_paper_example(self):
+        # P(15, 10, 21) = C(11, 5) / C(21, 15) ~ 0.85%.
+        assert prob_all_removed(15, 10, 21) == pytest.approx(0.0085, abs=2e-4)
+
+    def test_impossible_when_fewer_removals_than_active(self):
+        assert prob_all_removed(3, 5, 10) == 0.0
+
+    def test_certain_when_everything_removed(self):
+        assert prob_all_removed(10, 4, 10) == 1.0
+
+    def test_probability_bounds(self):
+        for removals in range(0, 22):
+            p = prob_all_removed(removals, 10, 21)
+            assert 0.0 <= p <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            prob_all_removed(5, 11, 10)
+        with pytest.raises(ParameterError):
+            prob_all_removed(11, 5, 10)
+
+
+class TestComposedAttackSuccess:
+    def test_paper_composition(self):
+        # a1=5, a=6, a4=50%, a2=50% => P ~ 0.85%.
+        p = attack_success_probability(6, 0.5, 0.5)
+        assert p == pytest.approx(0.0085, abs=2e-4)
+
+    def test_more_active_averages_harder_to_kill(self):
+        p_few = attack_success_probability(6, 0.5, 0.3)
+        p_many = attack_success_probability(6, 0.5, 0.9)
+        assert p_many < p_few
+
+
+class TestWeakening:
+    def test_bounded_by_one(self):
+        for a1 in (2, 5, 10):
+            for a2 in (0.1, 0.5, 1.0):
+                assert 0.0 <= weakening_factor(a1, 6, a2) <= 1.0
+
+    def test_rarer_attacks_weaken_less(self):
+        assert weakening_factor(10, 6, 0.5) < weakening_factor(2, 6, 0.5)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            weakening_factor(1, 6, 0.5)
+
+
+class TestExtraData:
+    def test_paper_conclusion(self):
+        # a1=5, P ~ 0.85% => ~4.25% more data for equal convinceability.
+        p = attack_success_probability(6, 0.5, 0.5)
+        assert extra_data_fraction(5, p) == pytest.approx(0.0425, abs=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            extra_data_fraction(1, 0.01)
+        with pytest.raises(ParameterError):
+            extra_data_fraction(5, 1.5)

@@ -1,0 +1,164 @@
+"""Tests for the adversary implementations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks.additive import additive_attack
+from repro.attacks.bias_detection import bias_detection_attack
+from repro.attacks.correlation import correlation_attack
+from repro.attacks.epsilon import epsilon_attack
+from repro.attacks.extreme_attack import targeted_extreme_attack
+from repro.attacks.suite import AttackSuite
+from repro.errors import ParameterError
+from repro.streams.generators import TemperatureSensorGenerator
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return TemperatureSensorGenerator(eta=60, seed=21).generate(4000)
+
+
+class TestEpsilonAttack:
+    def test_alters_requested_fraction(self, stream):
+        attacked = epsilon_attack(stream, tau=0.25, epsilon=0.2, rng=3)
+        changed = np.sum(attacked != stream)
+        assert 0.2 * len(stream) <= changed <= 0.25 * len(stream)
+
+    def test_zero_tau_is_identity(self, stream):
+        attacked = epsilon_attack(stream, tau=0.0, epsilon=0.5, rng=3)
+        assert np.array_equal(attacked, stream)
+
+    def test_changes_bounded_by_epsilon(self, stream):
+        attacked = epsilon_attack(stream, tau=1.0, epsilon=0.1, mu=0.0,
+                                  rng=3, clip=False)
+        ratio = attacked / stream
+        assert np.all(ratio >= 0.9 - 1e-12)
+        assert np.all(ratio <= 1.1 + 1e-12)
+
+    def test_mu_shifts_mean_of_factors(self, stream):
+        attacked = epsilon_attack(stream, tau=1.0, epsilon=0.01, mu=0.2,
+                                  rng=3, clip=False)
+        assert np.mean(attacked / stream) == pytest.approx(1.2, abs=0.01)
+
+    def test_clipping_keeps_normalized_domain(self, stream):
+        attacked = epsilon_attack(stream, tau=1.0, epsilon=0.9, rng=3)
+        assert attacked.min() > -0.5
+        assert attacked.max() < 0.5
+
+    def test_original_untouched(self, stream):
+        before = stream.copy()
+        epsilon_attack(stream, tau=0.5, epsilon=0.5, rng=3)
+        assert np.array_equal(stream, before)
+
+    def test_validation(self, stream):
+        with pytest.raises(ParameterError):
+            epsilon_attack(stream, tau=1.5, epsilon=0.1)
+        with pytest.raises(ParameterError):
+            epsilon_attack(stream, tau=0.5, epsilon=-0.1)
+
+
+class TestAdditiveAttack:
+    def test_lengthens_stream(self, stream):
+        attacked = additive_attack(stream, fraction=0.1, rng=5)
+        assert len(attacked) == len(stream) + round(0.1 * len(stream))
+
+    def test_original_subsequence_preserved(self, stream):
+        """Insertion never reorders the original values."""
+        attacked = additive_attack(stream, fraction=0.05, rng=5)
+        it = iter(attacked)
+        assert all(any(x == v for x in it) for v in stream[:50])
+
+    def test_empirical_values_from_distribution(self, stream):
+        attacked = additive_attack(stream, fraction=0.2, rng=5,
+                                   distribution="empirical")
+        assert set(np.round(attacked, 12)) <= set(np.round(stream, 12))
+
+    def test_fraction_bounded(self, stream):
+        with pytest.raises(ParameterError):
+            additive_attack(stream, fraction=0.7)
+        with pytest.raises(ParameterError):
+            additive_attack(stream, fraction=0.0)
+
+    def test_unknown_distribution(self, stream):
+        with pytest.raises(ParameterError):
+            additive_attack(stream, fraction=0.1, distribution="cauchy")
+
+
+class TestCorrelationAttack:
+    def test_returns_report(self, stream):
+        attacked, report = correlation_attack(stream, rng=7)
+        assert len(attacked) == len(stream)
+        assert report.extremes_examined > 0
+
+    def test_no_bias_in_clean_stream(self, stream):
+        """Unwatermarked noise-free values should mostly not be flagged
+        beyond chance; the attack is only effective against the
+        value-correlated initial encoding (see integration tests)."""
+        _, report = correlation_attack(stream, rng=7, bias_threshold=0.49,
+                                       min_bucket=6)
+        assert report.positions_found <= report.buckets_examined * 4
+
+    def test_validation(self, stream):
+        with pytest.raises(ParameterError):
+            correlation_attack(stream, bias_threshold=0.8)
+        with pytest.raises(ParameterError):
+            correlation_attack(stream, beta_guess=0)
+
+
+class TestBiasDetectionAttack:
+    def test_runs_and_reports(self, stream):
+        attacked, report = bias_detection_attack(stream, rng=9)
+        assert len(attacked) == len(stream)
+        assert report.flagged_extremes >= 0
+
+    def test_validation(self, stream):
+        with pytest.raises(ParameterError):
+            bias_detection_attack(stream, agreement_threshold=0.4)
+        with pytest.raises(ParameterError):
+            bias_detection_attack(stream, min_subset=1)
+
+
+class TestTargetedExtremeAttack:
+    def test_attacks_every_a1th_extreme(self, stream):
+        attacked, report = targeted_extreme_attack(stream, a1=5, a2=0.5,
+                                                   rng=11)
+        assert len(attacked) == len(stream)
+        assert report.extremes_attacked == pytest.approx(
+            report.extremes_total / 5, abs=1.0)
+        assert report.items_altered > 0
+
+    def test_alterations_are_low_bit_noise(self, stream):
+        attacked, _ = targeted_extreme_attack(stream, a1=3, a2=1.0, rng=11,
+                                              lsb_bits=12)
+        max_change = np.max(np.abs(attacked - stream))
+        assert max_change <= 2.0 ** (12 - 32) + 1e-12
+
+    def test_validation(self, stream):
+        with pytest.raises(ParameterError):
+            targeted_extreme_attack(stream, a1=1, a2=0.5)
+        with pytest.raises(ParameterError):
+            targeted_extreme_attack(stream, a1=3, a2=0.0)
+
+
+class TestAttackSuite:
+    def test_runs_all_default_attacks(self, stream):
+        suite = AttackSuite(seed=13)
+        outcomes = suite.run(stream)
+        assert [o.name for o in outcomes] == suite.names
+        assert all(len(o.values) > 0 for o in outcomes)
+
+    def test_reproducible(self, stream):
+        a = AttackSuite(seed=13).run(stream)
+        b = AttackSuite(seed=13).run(stream)
+        for x, y in zip(a, b):
+            assert np.array_equal(x.values, y.values)
+
+    def test_subset_selection(self, stream):
+        suite = AttackSuite(seed=13, include=["sampling-4"])
+        assert suite.names == ["sampling-4"]
+
+    def test_unknown_attack_rejected(self):
+        with pytest.raises(ParameterError):
+            AttackSuite(include=["nuke"])

@@ -1,0 +1,107 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.streams.generators import TemperatureSensorGenerator
+from repro.streams.io import load_stream_csv, save_stream_csv
+
+
+@pytest.fixture()
+def stream_file(tmp_path):
+    values = TemperatureSensorGenerator(eta=80, seed=13).generate(5000)
+    path = tmp_path / "stream.csv"
+    save_stream_csv(path, values)
+    return path
+
+
+class TestEmbedDetect:
+    def test_embed_then_detect(self, stream_file, tmp_path, capsys):
+        marked_path = tmp_path / "marked.csv"
+        code = main(["embed", str(stream_file), str(marked_path),
+                     "--key", "cli-key", "--watermark", "1"])
+        assert code == 0
+        embed_info = json.loads(capsys.readouterr().out)
+        assert embed_info["embedded"] > 0
+
+        code = main(["detect", str(marked_path), "--key", "cli-key",
+                     "--expect", "1"])
+        assert code == 0
+        detect_info = json.loads(capsys.readouterr().out)
+        assert detect_info["bias"][0] > 10
+        assert detect_info["match_fraction"] == 1.0
+        assert detect_info["estimate"] == ["1"]
+
+    def test_detect_wrong_key_low_bias(self, stream_file, tmp_path, capsys):
+        marked_path = tmp_path / "marked.csv"
+        main(["embed", str(stream_file), str(marked_path),
+              "--key", "cli-key"])
+        capsys.readouterr()
+        main(["detect", str(marked_path), "--key", "other-key"])
+        info = json.loads(capsys.readouterr().out)
+        assert abs(info["bias"][0]) <= 12
+
+    def test_missing_key_is_an_error(self, stream_file, tmp_path, capsys,
+                                     monkeypatch):
+        monkeypatch.delenv("REPRO_KEY", raising=False)
+        code = main(["embed", str(stream_file), str(tmp_path / "o.csv")])
+        assert code == 2
+        assert "key" in capsys.readouterr().err
+
+    def test_params_override(self, stream_file, tmp_path, capsys):
+        code = main(["embed", str(stream_file), str(tmp_path / "o.csv"),
+                     "--key", "k", "--params", '{"phi": 5}'])
+        assert code == 0
+
+    def test_normalization_roundtrip(self, tmp_path, capsys):
+        """Physical-unit streams embed and detect via --normalize."""
+        celsius = 15 + 8 * TemperatureSensorGenerator(
+            eta=80, seed=14).generate(5000)
+        raw = tmp_path / "celsius.csv"
+        save_stream_csv(raw, celsius)
+        marked = tmp_path / "marked.csv"
+        main(["embed", str(raw), str(marked), "--key", "k",
+              "--normalize", "7:23"])
+        capsys.readouterr()
+        published = load_stream_csv(marked)
+        assert np.max(np.abs(published - celsius)) < 0.01
+        code = main(["detect", str(marked), "--key", "k",
+                     "--normalize", "7:23"])
+        assert code == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["bias"][0] > 10
+
+
+class TestAttackAndInfo:
+    def test_attack_sample(self, stream_file, tmp_path, capsys):
+        out = tmp_path / "sampled.csv"
+        code = main(["attack", str(stream_file), str(out),
+                     "--kind", "sample", "--degree", "4", "--seed", "3"])
+        assert code == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["output_items"] == pytest.approx(
+            info["input_items"] / 4, abs=1)
+
+    def test_attack_epsilon(self, stream_file, tmp_path, capsys):
+        out = tmp_path / "attacked.csv"
+        code = main(["attack", str(stream_file), str(out),
+                     "--kind", "epsilon", "--tau", "0.2",
+                     "--epsilon", "0.1", "--seed", "3"])
+        assert code == 0
+        attacked = load_stream_csv(out)
+        original = load_stream_csv(stream_file)
+        changed = np.sum(attacked != original)
+        assert 0 < changed <= 0.2 * len(original)
+
+    def test_info(self, stream_file, capsys):
+        code = main(["info", str(stream_file)])
+        assert code == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["items"] == 5000
+        assert info["major_extremes"] > 10
+        assert info["eta_estimate"] > 0

@@ -1,0 +1,103 @@
+"""Tests for the Sec-3.2 guarded-bit encoding strategy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.encoding_initial import InitialEncoding, Vote
+from repro.core.params import WatermarkParams
+from repro.core.quantize import Quantizer
+from repro.errors import ParameterError
+from repro.util.hashing import KeyedHasher
+
+PARAMS = WatermarkParams()
+QUANTIZER = Quantizer(PARAMS.value_bits, PARAMS.avg_extra_bits)
+HASHER = KeyedHasher(b"k1")
+
+
+def make_subset(center: float = 0.3, size: int = 5) -> list[int]:
+    return [QUANTIZER.quantize(center + i * 1e-4) for i in range(size)]
+
+
+class TestVote:
+    def test_decision_true(self):
+        assert Vote(n_true=3, n_false=1).decision is True
+
+    def test_decision_false(self):
+        assert Vote(n_true=1, n_false=3).decision is False
+
+    def test_tie_abstains(self):
+        assert Vote(n_true=2, n_false=2).decision is None
+
+
+class TestEmbedDetectRoundtrip:
+    @pytest.mark.parametrize("bit", [True, False])
+    @pytest.mark.parametrize("label", [1, 17, 93, 2**15 + 5])
+    def test_roundtrip(self, bit, label):
+        encoding = InitialEncoding(PARAMS, QUANTIZER, HASHER)
+        subset = make_subset()
+        outcome = encoding.embed(subset, 2, label, bit)
+        floats = QUANTIZER.dequantize_array(outcome.q_values)
+        vote = encoding.detect(np.asarray(floats), 2, label)
+        assert vote.decision is bit
+
+    def test_wrong_label_does_not_guarantee_bit(self):
+        """Detection with a wrong label reads a different position."""
+        encoding = InitialEncoding(PARAMS, QUANTIZER, HASHER)
+        results = []
+        for label in range(2, 30):
+            subset = make_subset()
+            outcome = encoding.embed(subset, 2, 1, True)
+            floats = QUANTIZER.dequantize_array(outcome.q_values)
+            results.append(encoding.detect(np.asarray(floats), 2,
+                                           label).decision)
+        assert not all(r is True for r in results)
+
+    def test_alterations_confined_to_lsb(self):
+        encoding = InitialEncoding(PARAMS, QUANTIZER, HASHER)
+        subset = make_subset()
+        outcome = encoding.embed(subset, 2, 7, True)
+        for old, new in zip(subset, outcome.q_values):
+            assert old >> PARAMS.lsb_bits == new >> PARAMS.lsb_bits
+
+    def test_every_member_carries_the_bit(self):
+        """Replicating across the subset is what survives sampling."""
+        encoding = InitialEncoding(PARAMS, QUANTIZER, HASHER)
+        subset = make_subset(size=7)
+        outcome = encoding.embed(subset, 3, 11, True)
+        for q in outcome.q_values:
+            floats = QUANTIZER.dequantize_array([q])
+            vote = encoding.detect(np.asarray(floats), 0, 11)
+            assert vote.decision is True
+
+    def test_offset_validation(self):
+        encoding = InitialEncoding(PARAMS, QUANTIZER, HASHER)
+        with pytest.raises(ParameterError):
+            encoding.embed(make_subset(), 99, 1, True)
+        with pytest.raises(ParameterError):
+            encoding.detect(np.asarray([0.1]), 5, 1)
+
+
+class TestPositionModes:
+    def test_value_mode_position_correlates_with_value(self):
+        """The original (pre-label) mode: same value => same position.
+
+        This is exactly the correlation the Sec-4.1 attack exploits, and
+        the reason `use_label_positions=True` is the default.
+        """
+        encoding = InitialEncoding(PARAMS, QUANTIZER, HASHER,
+                                   use_label_positions=False)
+        subset_a = make_subset(0.3)
+        subset_b = make_subset(0.3)
+        out_a = encoding.embed(subset_a, 2, 5, True)
+        out_b = encoding.embed(subset_b, 2, 999, True)  # label ignored
+        assert out_a.q_values == out_b.q_values
+
+    def test_label_mode_position_varies_for_same_value(self):
+        encoding = InitialEncoding(PARAMS, QUANTIZER, HASHER,
+                                   use_label_positions=True)
+        outcomes = {tuple(encoding.embed(make_subset(0.3), 2, label,
+                                         True).q_values)
+                    for label in range(1, 30)}
+        assert len(outcomes) > 1

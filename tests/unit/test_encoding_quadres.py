@@ -1,0 +1,119 @@
+"""Tests for the quadratic-residue alternative encoding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.encoding_quadres import (
+    QuadResEncoding,
+    derive_prime,
+    is_probable_prime,
+    is_quadratic_residue,
+)
+from repro.core.params import WatermarkParams
+from repro.core.quantize import Quantizer
+from repro.errors import ParameterError
+from repro.util.hashing import KeyedHasher
+
+PARAMS = WatermarkParams()
+QUANTIZER = Quantizer(PARAMS.value_bits, PARAMS.avg_extra_bits)
+HASHER = KeyedHasher(b"k1")
+
+
+class TestPrimality:
+    @pytest.mark.parametrize("n,expected", [
+        (0, False), (1, False), (2, True), (3, True), (4, False),
+        (97, True), (561, False),          # Carmichael number
+        (2_147_483_647, True),             # Mersenne prime 2^31 - 1
+        (2_147_483_649, False),
+    ])
+    def test_known_values(self, n, expected):
+        assert is_probable_prime(n) is expected
+
+    def test_derive_prime_is_prime_and_deterministic(self):
+        p1 = derive_prime(HASHER)
+        p2 = derive_prime(HASHER)
+        assert p1 == p2
+        assert is_probable_prime(p1)
+        assert p1.bit_length() == 61
+
+    def test_derive_prime_key_dependent(self):
+        assert derive_prime(HASHER) != derive_prime(KeyedHasher(b"k2"))
+
+    def test_derive_prime_size_validation(self):
+        with pytest.raises(ParameterError):
+            derive_prime(HASHER, bits=16)
+
+
+class TestQuadraticResidue:
+    def test_euler_criterion_small_prime(self):
+        # Residues mod 11 are {1, 3, 4, 5, 9}.
+        residues = {x for x in range(1, 11) if is_quadratic_residue(x, 11)}
+        assert residues == {1, 3, 4, 5, 9}
+
+    def test_zero_is_nonresidue_by_convention(self):
+        assert not is_quadratic_residue(0, 11)
+
+    def test_squares_are_residues(self):
+        p = derive_prime(HASHER)
+        for x in (17, 123456, 987654321):
+            assert is_quadratic_residue((x * x) % p, p)
+
+
+class TestEncoding:
+    @pytest.mark.parametrize("bit", [True, False])
+    def test_roundtrip(self, bit):
+        encoding = QuadResEncoding(PARAMS, QUANTIZER, HASHER, n_prefixes=2)
+        subset = [QUANTIZER.quantize(0.29 + i * 1e-3) for i in range(4)]
+        outcome = encoding.embed(subset, 1, 1, bit)
+        floats = QUANTIZER.dequantize_array(outcome.q_values)
+        vote = encoding.detect(np.asarray(floats), 1, 1)
+        assert vote.decision is bit
+
+    def test_every_member_testifies(self):
+        """Per-member encoding is what survives sampling."""
+        encoding = QuadResEncoding(PARAMS, QUANTIZER, HASHER, n_prefixes=2)
+        subset = [QUANTIZER.quantize(0.29 + i * 1e-3) for i in range(5)]
+        outcome = encoding.embed(subset, 2, 1, True)
+        for q in outcome.q_values:
+            floats = QUANTIZER.dequantize_array([q])
+            assert encoding.detect(np.asarray(floats), 0, 1).decision is True
+
+    def test_alterations_confined_to_lsb(self):
+        encoding = QuadResEncoding(PARAMS, QUANTIZER, HASHER, n_prefixes=2)
+        subset = [QUANTIZER.quantize(0.29 + i * 1e-3) for i in range(4)]
+        outcome = encoding.embed(subset, 1, 1, True)
+        for old, new in zip(subset, outcome.q_values):
+            assert old >> PARAMS.lsb_bits == new >> PARAMS.lsb_bits
+
+    def test_more_prefixes_cost_more(self):
+        subset = [QUANTIZER.quantize(0.29 + i * 1e-3) for i in range(4)]
+        iterations = []
+        for k in (1, 3):
+            encoding = QuadResEncoding(PARAMS, QUANTIZER, HASHER,
+                                       n_prefixes=k)
+            iterations.append(encoding.embed(list(subset), 1, 1,
+                                             True).iterations)
+        assert iterations[1] > iterations[0]
+
+    def test_prefix_count_validation(self):
+        with pytest.raises(ParameterError):
+            QuadResEncoding(PARAMS, QUANTIZER, HASHER, n_prefixes=0)
+        with pytest.raises(ParameterError):
+            QuadResEncoding(PARAMS, QUANTIZER, HASHER,
+                            n_prefixes=PARAMS.lsb_bits)
+
+    def test_random_data_votes_balanced(self):
+        encoding = QuadResEncoding(PARAMS, QUANTIZER, HASHER, n_prefixes=2)
+        rng = np.random.default_rng(4)
+        decisions = []
+        for _ in range(200):
+            value = rng.uniform(-0.45, 0.45)
+            vote = encoding.detect(np.asarray([value]), 0, 1)
+            decisions.append(vote.decision)
+        n_true = sum(1 for d in decisions if d is True)
+        n_false = sum(1 for d in decisions if d is False)
+        # With k=2 prefixes ~1/4 of random values match each convention.
+        assert n_true + n_false < 160
+        assert abs(n_true - n_false) < 40

@@ -1,0 +1,99 @@
+"""Unit and property tests for the keyed one-way hash H(V, k)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import KeyError_, ParameterError
+from repro.util.hashing import H, KeyedHasher, hash_to_int
+
+
+class TestH:
+    def test_deterministic(self):
+        assert H(42, b"k1") == H(42, b"k1")
+
+    def test_value_sensitivity(self):
+        assert H(42, b"k1") != H(43, b"k1")
+
+    def test_key_sensitivity(self):
+        assert H(42, b"k1") != H(42, b"k2")
+
+    def test_accepts_str_and_int_keys(self):
+        assert H(1, "secret") == H(1, b"secret")
+        assert isinstance(H(1, 12345), int)
+
+    def test_string_values_length_prefixed(self):
+        # Length prefixing prevents concatenation ambiguity.
+        assert H("ab", b"k") != H("a", b"k")
+
+    def test_rejects_empty_key(self):
+        with pytest.raises(KeyError_):
+            H(1, b"")
+
+    def test_rejects_negative_value(self):
+        with pytest.raises(ParameterError):
+            H(-1, b"k")
+
+    def test_rejects_bool_value(self):
+        with pytest.raises(ParameterError):
+            H(True, b"k")
+
+    @given(st.integers(0, 2**64), st.integers(0, 2**64))
+    def test_distinct_ints_rarely_collide(self, a, b):
+        if a != b:
+            assert H(a, b"k") != H(b, b"k")
+
+
+class TestHashToInt:
+    def test_md5_width(self):
+        assert hash_to_int(b"x").bit_length() <= 128
+
+    def test_sha256_width(self):
+        value = hash_to_int(b"x", "sha256")
+        assert value.bit_length() <= 256
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ParameterError):
+            hash_to_int(b"x", "crc32")
+
+
+class TestKeyedHasher:
+    def test_mod_in_range(self):
+        hasher = KeyedHasher(b"k1")
+        for value in range(100):
+            assert 0 <= hasher.mod(value, 7) < 7
+
+    def test_mod_rejects_nonpositive_modulus(self):
+        with pytest.raises(ParameterError):
+            KeyedHasher(b"k").mod(1, 0)
+
+    def test_low_bits_width(self):
+        hasher = KeyedHasher(b"k1")
+        for value in range(50):
+            assert 0 <= hasher.low_bits(value, 3) < 8
+
+    def test_low_bits_roughly_uniform(self):
+        """Diffusion: with omega=1 about half the hashes end in 1."""
+        hasher = KeyedHasher(b"k1")
+        ones = sum(hasher.low_bits(v, 1) for v in range(2000))
+        assert 850 < ones < 1150
+
+    def test_matches_module_level_h(self):
+        hasher = KeyedHasher(b"k1")
+        assert hasher.hash_int(99) == H(99, b"k1")
+
+    def test_derive_changes_outputs(self):
+        hasher = KeyedHasher(b"k1")
+        derived = hasher.derive("other-purpose")
+        assert hasher.hash_int(5) != derived.hash_int(5)
+
+    def test_derive_is_deterministic(self):
+        a = KeyedHasher(b"k1").derive("p")
+        b = KeyedHasher(b"k1").derive("p")
+        assert a.hash_int(5) == b.hash_int(5)
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(ParameterError):
+            KeyedHasher(b"k1", algorithm="md4")

@@ -1,0 +1,152 @@
+"""Tests for the Sec-4.1 labeling scheme, including the Fig-2 example."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.labels import (
+    StreamingLabeler,
+    label_bit,
+    label_from_history,
+    labels_for_extreme_values,
+)
+from repro.core.quantize import Quantizer
+from repro.errors import ParameterError
+
+QUANTIZER = Quantizer(32)
+MSB = 16
+
+
+class TestLabelBit:
+    def test_true_when_later_larger(self):
+        assert label_bit(0.1, 0.3, QUANTIZER, MSB) is True
+
+    def test_false_when_later_smaller_or_equal(self):
+        assert label_bit(0.3, 0.1, QUANTIZER, MSB) is False
+        assert label_bit(0.2, 0.2, QUANTIZER, MSB) is False
+
+    def test_compares_magnitudes_not_signs(self):
+        # |−0.1| < |+0.3| regardless of signs.
+        assert label_bit(-0.1, 0.3, QUANTIZER, MSB) is True
+        assert label_bit(0.1, -0.3, QUANTIZER, MSB) is True
+
+
+class TestFig2Example:
+    """Paper Fig 2(a): extremes A..K with % = 2 give K label "110100"."""
+
+    # Values chosen so that the magnitude comparisons A<C, C>E, E<G,
+    # G>I, I>K reproduce the paper's bits 1,0,1,0,0.
+    VALUES = {
+        "A": +6.0, "B": -7.3, "C": +7.7, "D": -7.2, "E": +6.7,
+        "F": +2.0, "G": +11.2, "H": +8.7, "I": -5.5, "J": +6.0,
+        "K": -5.0,
+    }
+
+    def test_label_of_k(self):
+        # Normalize the paper's illustrative values into (-0.5, 0.5).
+        scale = 30.0
+        ordered = [self.VALUES[ch] / scale for ch in "ACEGIK"]
+        label = label_from_history(ordered, QUANTIZER, MSB)
+        assert label == 0b110100
+
+
+class TestLabelFromHistory:
+    def test_leading_one_guards_length(self):
+        label = label_from_history([0.1, 0.2, 0.3], QUANTIZER, MSB)
+        assert label.bit_length() == 3
+
+    def test_requires_two_values(self):
+        with pytest.raises(ParameterError):
+            label_from_history([0.1], QUANTIZER, MSB)
+
+    @given(st.lists(st.floats(-0.49, 0.49, allow_nan=False), min_size=2,
+                    max_size=12))
+    def test_label_bit_length_equals_history(self, history):
+        label = label_from_history(history, QUANTIZER, MSB)
+        assert label.bit_length() == len(history)
+
+
+class TestStreamingLabeler:
+    def test_warmup_returns_none(self):
+        labeler = StreamingLabeler(lambda_bits=4, skip=2,
+                                   quantizer=QUANTIZER, msb_bits=MSB)
+        needed = 2 * 3 + 1
+        values = [0.1 * (i % 5 + 1) for i in range(needed - 1)]
+        assert all(labeler.push(v) is None for v in values)
+        assert labeler.warmup_remaining == 1
+
+    def test_label_defined_after_warmup(self):
+        labeler = StreamingLabeler(lambda_bits=4, skip=2,
+                                   quantizer=QUANTIZER, msb_bits=MSB)
+        values = [0.05 * (i % 7 + 1) for i in range(10)]
+        labels = [labeler.push(v) for v in values]
+        assert labels[-1] is not None
+        assert labels[-1].bit_length() == 4
+
+    def test_matches_offline_helper(self):
+        values = [0.03 * ((i * 7) % 11 + 1) - 0.2 for i in range(40)]
+        offline = labels_for_extreme_values(values, lambda_bits=5, skip=2,
+                                            quantizer=QUANTIZER, msb_bits=MSB)
+        labeler = StreamingLabeler(lambda_bits=5, skip=2,
+                                   quantizer=QUANTIZER, msb_bits=MSB)
+        online = [labeler.push(v) for v in values]
+        assert offline == online
+
+    def test_preview_then_push_consistent(self):
+        """preview(v) must equal what push(v) would have returned."""
+        labeler_a = StreamingLabeler(4, 2, QUANTIZER, MSB)
+        labeler_b = StreamingLabeler(4, 2, QUANTIZER, MSB)
+        values = [0.04 * ((i * 3) % 9 + 1) for i in range(20)]
+        for v in values:
+            assert labeler_a.preview(v) == labeler_b.push(v)
+            labeler_a.push(v)
+
+    def test_preview_does_not_commit(self):
+        labeler = StreamingLabeler(3, 1, QUANTIZER, MSB)
+        labeler.push(0.1)
+        labeler.push(0.2)
+        first = labeler.preview(0.3)
+        second = labeler.preview(0.3)
+        assert first == second  # two previews, no state change
+
+    def test_skip_strides_history(self):
+        """With % = 2 the label must ignore odd-offset extremes."""
+        labeler_a = StreamingLabeler(3, 2, QUANTIZER, MSB)
+        labeler_b = StreamingLabeler(3, 2, QUANTIZER, MSB)
+        base = [0.1, 0.4, 0.2, 0.3, 0.3]
+        tweaked = [0.1, 0.25, 0.2, 0.11, 0.3]  # odd positions changed
+        label_a = [labeler_a.push(v) for v in base][-1]
+        label_b = [labeler_b.push(v) for v in tweaked][-1]
+        assert label_a is not None
+        assert label_a == label_b
+
+    def test_reset_clears_history(self):
+        labeler = StreamingLabeler(3, 1, QUANTIZER, MSB)
+        for v in (0.1, 0.2, 0.3):
+            labeler.push(v)
+        labeler.reset()
+        assert labeler.warmup_remaining == 3
+
+    def test_constructor_validation(self):
+        with pytest.raises(ParameterError):
+            StreamingLabeler(1, 2, QUANTIZER, MSB)
+        with pytest.raises(ParameterError):
+            StreamingLabeler(4, 0, QUANTIZER, MSB)
+
+    @settings(max_examples=25)
+    @given(st.lists(st.floats(-0.49, 0.49, allow_nan=False), min_size=31,
+                    max_size=60))
+    def test_labels_depend_only_on_recent_history(self, values):
+        """Labels are a function of the last %(λ-1)+1 extremes only.
+
+        This bounded-memory property is what lets detection resynchronize
+        after attacked regions (Sec 4.1's corruption argument).
+        """
+        lam, skip = 4, 2
+        needed = skip * (lam - 1) + 1
+        full = labels_for_extreme_values(values, lam, skip, QUANTIZER, MSB)
+        suffix = values[-needed:]
+        fresh = labels_for_extreme_values(suffix, lam, skip, QUANTIZER, MSB)
+        assert full[-1] == fresh[-1]

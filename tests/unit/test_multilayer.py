@@ -1,0 +1,93 @@
+"""Tests for multi-layer watermarks (the Sec-4 improvement)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.multilayer import (
+    default_layers,
+    detect_multilayer,
+    watermark_multilayer,
+)
+from repro.core.params import WatermarkParams
+from repro.errors import ParameterError
+from repro.streams.generators import TemperatureSensorGenerator
+
+KEY = b"multilayer-key"
+
+
+@pytest.fixture(scope="module")
+def layered_stream():
+    """A stream with structure at two scales: coarse arcs + fine ripples."""
+    coarse = TemperatureSensorGenerator(eta=400, seed=5,
+                                        extreme_scale=0.3).generate(12000)
+    fine = TemperatureSensorGenerator(eta=60, seed=6,
+                                      extreme_scale=0.05,
+                                      min_swing=0.02).generate(12000)
+    return np.clip(coarse * 0.7 + fine * 0.5, -0.49, 0.49)
+
+
+class TestLayerConstruction:
+    def test_default_layers_ordered(self):
+        layers = default_layers()
+        assert len(layers) == 2
+        assert layers[1].prominence < layers[0].prominence
+        assert layers[1].delta < layers[0].delta
+
+    def test_fine_factor_validation(self):
+        with pytest.raises(ParameterError):
+            default_layers(fine_factor=1.5)
+
+    def test_single_layer_rejected(self):
+        with pytest.raises(ParameterError):
+            watermark_multilayer([0.1] * 100, "1", KEY,
+                                 layers=[WatermarkParams()])
+
+    def test_wrong_order_rejected(self):
+        base = WatermarkParams()
+        fine = base.with_updates(prominence=0.01, delta=0.005)
+        with pytest.raises(ParameterError):
+            watermark_multilayer([0.1] * 100, "1", KEY,
+                                 layers=[fine, base])
+
+
+class TestRoundtrip:
+    def test_both_layers_embed(self, layered_stream):
+        marked, reports = watermark_multilayer(layered_stream, "1", KEY)
+        assert len(reports) == 2
+        assert all(r.embedded > 0 for r in reports)
+        # Low-bit alterations only.
+        assert np.max(np.abs(marked - layered_stream)) <= 2.0 ** -16
+
+    def test_combined_detection_exceeds_single_layer(self, layered_stream):
+        layers = default_layers()
+        marked, _ = watermark_multilayer(layered_stream, "1", KEY,
+                                         layers=layers)
+        combined = detect_multilayer(marked, 1, KEY, layers=layers)
+        from repro.core.detector import detect_watermark
+        from repro.core.multilayer import _layer_key
+
+        singles = [detect_watermark(marked, 1, _layer_key(KEY, d),
+                                    params=params).bias(0)
+                   for d, params in enumerate(layers)]
+        assert combined.bias(0) == sum(singles)
+        assert combined.bias(0) > max(singles)
+
+    def test_coarse_layer_survives_deep_summarization(self, layered_stream):
+        """The design goal: deep summarization flattens the fine layer,
+        the coarse layer keeps testifying."""
+        from repro.transforms.summarization import summarize
+
+        layers = default_layers()
+        marked, _ = watermark_multilayer(layered_stream, "1", KEY,
+                                         layers=layers)
+        deep = summarize(marked, 5)
+        combined = detect_multilayer(deep, 1, KEY, layers=layers,
+                                     transform_degree=5.0)
+        assert combined.bias(0) >= 5
+
+    def test_unwatermarked_combined_stays_null(self, layered_stream):
+        combined = detect_multilayer(layered_stream, 1, KEY)
+        assert abs(combined.bias(0)) <= 20
+        assert combined.exact_false_positive(0) > 1e-5

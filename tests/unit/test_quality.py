@@ -1,0 +1,111 @@
+"""Tests for the Sec-4.4 quality constraints and undo log."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.quality import (
+    Alteration,
+    MaxAlteredFraction,
+    MaxMeanDrift,
+    MaxPerItemChange,
+    MaxStdDrift,
+    QualityMonitor,
+    QualityStats,
+)
+from repro.errors import ParameterError
+
+
+def admit_range(monitor: QualityMonitor, n: int = 100) -> None:
+    monitor.admit_many(np.linspace(-0.4, 0.4, n))
+
+
+class TestStats:
+    def test_empty_stats_are_zero(self):
+        stats = QualityStats()
+        assert stats.mean_original() == 0.0
+        assert stats.std_marked() == 0.0
+        assert stats.altered_fraction() == 0.0
+
+    def test_moments_match_numpy(self):
+        monitor = QualityMonitor()
+        data = np.linspace(-0.3, 0.5, 64)
+        monitor.admit_many(data)
+        assert monitor.stats.mean_original() == pytest.approx(np.mean(data))
+        assert monitor.stats.std_original() == pytest.approx(np.std(data))
+
+    def test_drift_tracks_alterations(self):
+        monitor = QualityMonitor()
+        monitor.admit_many([0.0] * 10)
+        monitor.propose([Alteration(index=0, old=0.0, new=0.1)])
+        assert monitor.stats.mean_drift() == pytest.approx(0.01)
+
+
+class TestConstraints:
+    def test_per_item_change(self):
+        constraint = MaxPerItemChange(limit=0.05)
+        stats = QualityStats(max_abs_change=0.04)
+        assert constraint.check(stats)
+        stats.max_abs_change = 0.06
+        assert not constraint.check(stats)
+
+    def test_constraint_validation(self):
+        for cls in (MaxPerItemChange, MaxMeanDrift, MaxStdDrift):
+            with pytest.raises(ParameterError):
+                cls(limit=0.0)
+        with pytest.raises(ParameterError):
+            MaxAlteredFraction(limit=1.5)
+
+
+class TestMonitor:
+    def test_commit_when_constraints_pass(self):
+        monitor = QualityMonitor([MaxPerItemChange(limit=0.1)])
+        admit_range(monitor)
+        ok = monitor.propose([Alteration(index=0, old=0.0, new=0.05)])
+        assert ok
+        assert monitor.stats.n_altered == 1
+        assert monitor.rollbacks == 0
+
+    def test_rollback_on_violation(self):
+        monitor = QualityMonitor([MaxPerItemChange(limit=0.01)])
+        admit_range(monitor)
+        before_mean = monitor.stats.mean_marked()
+        ok = monitor.propose([Alteration(index=0, old=0.0, new=0.5)])
+        assert not ok
+        assert monitor.rollbacks == 1
+        assert monitor.undo_log[0].violated == "max-per-item-change"
+        # Aggregates restored exactly.
+        assert monitor.stats.mean_marked() == pytest.approx(before_mean)
+        assert monitor.stats.max_abs_change == 0.0
+        assert monitor.stats.n_altered == 0
+
+    def test_mean_drift_constraint_accumulates(self):
+        monitor = QualityMonitor([MaxMeanDrift(limit=0.005)])
+        monitor.admit_many([0.0] * 100)
+        # Each step shifts the mean by 0.002; the third violates.
+        accepted = [monitor.propose([Alteration(index=i, old=0.0, new=0.2)])
+                    for i in range(3)]
+        assert accepted == [True, True, False]
+
+    def test_altered_fraction_constraint(self):
+        monitor = QualityMonitor([MaxAlteredFraction(limit=0.02)])
+        monitor.admit_many([0.0] * 100)
+        first = monitor.propose([Alteration(index=0, old=0.0, new=1e-6),
+                                 Alteration(index=1, old=0.0, new=1e-6)])
+        second = monitor.propose([Alteration(index=2, old=0.0, new=1e-6)])
+        assert first
+        assert not second
+
+    def test_empty_proposal_is_noop(self):
+        monitor = QualityMonitor([MaxPerItemChange(limit=1e-9)])
+        admit_range(monitor)
+        assert monitor.propose([])
+        assert monitor.rollbacks == 0
+
+    def test_multiple_constraints_first_violation_reported(self):
+        monitor = QualityMonitor([MaxMeanDrift(limit=1e-9),
+                                  MaxPerItemChange(limit=1e-9)])
+        admit_range(monitor)
+        monitor.propose([Alteration(index=0, old=0.0, new=0.3)])
+        assert monitor.undo_log[0].violated == "max-mean-drift"

@@ -1,0 +1,130 @@
+"""Tests for the shared streaming scanner internals."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.params import WatermarkParams
+from repro.core.quantize import Quantizer
+from repro.core.scanner import ScanCounters, StreamScanner
+from repro.errors import ParameterError
+from repro.streams.generators import TemperatureSensorGenerator
+from repro.util.hashing import KeyedHasher
+
+
+class RecordingScanner(StreamScanner):
+    """Test double: records every selected extreme, mutates nothing."""
+
+    def __init__(self, params: WatermarkParams, wm_length: int = 1,
+                 **kwargs) -> None:
+        quantizer = Quantizer(params.value_bits, params.avg_extra_bits)
+        super().__init__(params, quantizer, KeyedHasher(b"scan-key"),
+                         wm_length, **kwargs)
+        self.selected: list[tuple[int, int, int]] = []
+
+    def _handle_selected(self, extreme, window_values, local, start, end,
+                         label, bit_index):
+        self.selected.append((extreme.index, bit_index, label))
+        return self._reference_value(extreme, window_values, start, end)
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return TemperatureSensorGenerator(eta=80, seed=44).generate(6000)
+
+
+class TestCounters:
+    def test_eta_estimate(self):
+        counters = ScanCounters(items=1000, majors=10)
+        assert counters.eta_estimate == 100.0
+
+    def test_eta_estimate_no_majors(self):
+        assert ScanCounters(items=100).eta_estimate == float("inf")
+
+    def test_average_subset_size(self):
+        counters = ScanCounters(extremes_confirmed=4, subset_size_sum=40)
+        assert counters.average_subset_size == 10.0
+
+
+class TestScannerBehaviour:
+    def test_passthrough_preserves_values(self, stream):
+        scanner = RecordingScanner(WatermarkParams())
+        out = scanner.run(stream)
+        assert np.array_equal(out, stream)
+
+    def test_counters_populated(self, stream):
+        scanner = RecordingScanner(WatermarkParams())
+        scanner.run(stream)
+        c = scanner.counters
+        assert c.items == len(stream)
+        assert 0 < c.majors <= c.extremes_confirmed
+        assert c.selected == len(scanner.selected)
+
+    def test_selection_fraction_tracks_phi(self, stream):
+        counts = []
+        for phi in (2, 6):
+            scanner = RecordingScanner(WatermarkParams().with_updates(
+                phi=phi))
+            scanner.run(stream)
+            counts.append(len(scanner.selected))
+        # phi=6 selects roughly a third as many carriers as phi=2.
+        assert counts[1] < counts[0]
+
+    def test_selected_indices_are_increasing(self, stream):
+        scanner = RecordingScanner(WatermarkParams())
+        scanner.run(stream)
+        indices = [i for i, _, _ in scanner.selected]
+        assert indices == sorted(indices)
+
+    def test_labels_present_for_all_selected(self, stream):
+        scanner = RecordingScanner(WatermarkParams())
+        scanner.run(stream)
+        assert all(label >= 1 for _, _, label in scanner.selected)
+        # With require_labels, labels carry the full lambda bit-length.
+        lam = WatermarkParams().lambda_bits
+        assert all(label.bit_length() == lam
+                   for _, _, label in scanner.selected)
+
+    def test_require_labels_false_uses_sentinel(self, stream):
+        scanner = RecordingScanner(WatermarkParams(), require_labels=False)
+        scanner.run(stream)
+        # Early extremes (before warm-up) carry the sentinel label 1.
+        assert any(label == 1 for _, _, label in scanner.selected)
+
+    def test_invalid_chunk_size(self, stream):
+        scanner = RecordingScanner(WatermarkParams())
+        with pytest.raises(ParameterError):
+            scanner.run(stream, chunk_size=0)
+
+    def test_effective_sigma_validation(self):
+        with pytest.raises(ParameterError):
+            RecordingScanner(WatermarkParams(), effective_sigma=0)
+
+    def test_base_handle_selected_is_abstract(self, stream):
+        params = WatermarkParams()
+        quantizer = Quantizer(params.value_bits, params.avg_extra_bits)
+        scanner = StreamScanner(params, quantizer, KeyedHasher(b"k"), 1)
+        with pytest.raises(NotImplementedError):
+            scanner.run(stream[:2000])
+
+
+class TestRobustReference:
+    def test_reference_is_subset_mean_when_enabled(self, stream):
+        params = WatermarkParams(robust_extreme_value=True)
+        scanner = RecordingScanner(params)
+        values = np.asarray([0.0, 0.30, 0.31, 0.32, 0.31, 0.30, 0.0])
+        ref = scanner._reference_value(
+            extreme=None, window_values=values, start=1, end=5)
+        assert ref == pytest.approx(np.mean(values[1:6]))
+
+    def test_reference_is_raw_value_when_disabled(self, stream):
+        from repro.core.extremes import MAXIMUM, Extreme
+
+        params = WatermarkParams(robust_extreme_value=False)
+        scanner = RecordingScanner(params)
+        extreme = Extreme(index=3, value=0.32, kind=MAXIMUM,
+                          subset_start=1, subset_end=5)
+        values = np.asarray([0.0, 0.30, 0.31, 0.32, 0.31, 0.30, 0.0])
+        ref = scanner._reference_value(extreme, values, 1, 5)
+        assert ref == 0.32

@@ -1,0 +1,106 @@
+"""Tests for the hash-based selection criterion and bit positions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import WatermarkParams
+from repro.core.quantize import Quantizer
+from repro.core.selection import (
+    bit_position_from_label,
+    bit_position_from_value,
+    select_watermark_bit,
+    selection_index,
+)
+from repro.errors import ParameterError
+from repro.util.hashing import KeyedHasher
+
+PARAMS = WatermarkParams(phi=8)
+QUANTIZER = Quantizer(PARAMS.value_bits, PARAMS.avg_extra_bits)
+HASHER = KeyedHasher(b"k1")
+
+
+class TestSelectionIndex:
+    def test_in_range(self):
+        for i in range(50):
+            value = -0.45 + i * 0.018
+            assert 0 <= selection_index(value, PARAMS, QUANTIZER, HASHER) < 8
+
+    def test_deterministic(self):
+        assert selection_index(0.3, PARAMS, QUANTIZER, HASHER) == \
+            selection_index(0.3, PARAMS, QUANTIZER, HASHER)
+
+    def test_depends_on_key(self):
+        other = KeyedHasher(b"k2")
+        results = [(selection_index(v, PARAMS, QUANTIZER, HASHER),
+                    selection_index(v, PARAMS, QUANTIZER, other))
+                   for v in [x * 0.017 - 0.4 for x in range(48)]]
+        assert any(a != b for a, b in results)
+
+    def test_msb_stability(self):
+        """Values in the same selection cell share their index."""
+        cell = 2.0 ** -PARAMS.msb_bits  # normalized cell width
+        base = 0.25 * cell * 8 + cell * 0.1
+        inside = base + cell * 0.5
+        assert selection_index(base, PARAMS, QUANTIZER, HASHER) == \
+            selection_index(inside, PARAMS, QUANTIZER, HASHER)
+
+    def test_label_adds_entropy(self):
+        """Same value with different labels can select different bits."""
+        indices = {selection_index(0.3, PARAMS, QUANTIZER, HASHER,
+                                   label=label)
+                   for label in range(1, 40)}
+        assert len(indices) > 1
+
+
+class TestSelectWatermarkBit:
+    def test_selection_fraction_roughly_wm_over_phi(self):
+        wm_length = 2
+        selected = 0
+        n = 400
+        for i in range(n):
+            bit = select_watermark_bit(-0.45 + i * 0.002, wm_length,
+                                       PARAMS, QUANTIZER, HASHER,
+                                       label=i + 1)
+            if bit is not None:
+                selected += 1
+                assert 0 <= bit < wm_length
+        expected = n * wm_length / PARAMS.phi
+        assert 0.5 * expected < selected < 1.7 * expected
+
+    def test_rejects_empty_watermark(self):
+        with pytest.raises(ParameterError):
+            select_watermark_bit(0.1, 0, PARAMS, QUANTIZER, HASHER)
+
+
+class TestBitPositions:
+    def test_label_position_guard_safe(self):
+        for label in range(1, 200):
+            position = bit_position_from_label(label, PARAMS, HASHER)
+            assert 1 <= position <= PARAMS.lsb_bits - 2
+
+    def test_value_position_guard_safe(self):
+        for i in range(100):
+            position = bit_position_from_value(-0.4 + i * 0.008, PARAMS,
+                                               QUANTIZER, HASHER)
+            assert 1 <= position <= PARAMS.lsb_bits - 2
+
+    def test_label_position_varies_with_label(self):
+        positions = {bit_position_from_label(label, PARAMS, HASHER)
+                     for label in range(1, 64)}
+        assert len(positions) > 1
+
+    def test_label_must_be_positive(self):
+        with pytest.raises(ParameterError):
+            bit_position_from_label(0, PARAMS, HASHER)
+
+    def test_decorrelation_of_label_scheme(self):
+        """Same value, different labels => positions spread (Sec 4.1).
+
+        This is the property that defeats the bucket-counting attack:
+        knowing the value reveals nothing about the position.
+        """
+        positions = [bit_position_from_label(label, PARAMS, HASHER)
+                     for label in range(1, 129)]
+        # Positions should take most of the available range.
+        assert len(set(positions)) >= PARAMS.payload_positions // 2

@@ -1,0 +1,63 @@
+"""Tests for watermark payload coercion."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import assume, given
+from hypothesis import strategies as st
+
+from repro.core.watermark import bits_to_bytes, bits_to_text, to_bits
+from repro.errors import ParameterError
+
+
+class TestToBits:
+    def test_bit_string(self):
+        assert to_bits("101") == [True, False, True]
+
+    def test_text_string_utf8(self):
+        bits = to_bits("A")  # 0x41 = 0100 0001
+        assert bits == [False, True, False, False, False, False, False, True]
+
+    def test_bytes(self):
+        assert to_bits(b"\x80") == [True] + [False] * 7
+
+    def test_bit_list(self):
+        assert to_bits([1, 0, True, False]) == [True, False, True, False]
+
+    def test_empty_rejected(self):
+        for bad in ("", b"", []):
+            with pytest.raises(ParameterError):
+                to_bits(bad)
+
+    def test_non_bit_items_rejected(self):
+        with pytest.raises(ParameterError):
+            to_bits([1, 2, 0])
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(ParameterError):
+            to_bits(3.14)
+
+    @given(st.binary(min_size=1, max_size=16))
+    def test_bytes_roundtrip(self, raw):
+        assert bits_to_bytes(to_bits(raw)) == raw
+
+    @given(st.text(alphabet=st.characters(codec="ascii",
+                                          min_codepoint=32,
+                                          max_codepoint=126),
+                   min_size=1, max_size=12))
+    def test_text_roundtrip(self, text):
+        # Strings made solely of '0'/'1' are bit literals by the
+        # documented coercion rule, not text.
+        assume(set(text) - {"0", "1"})
+        assert bits_to_text(to_bits(text)) == text
+
+
+class TestBitsToBytes:
+    def test_undefined_replaced(self):
+        bits = [True, None, False, None, True, True, False, False]
+        assert bits_to_bytes(bits, undefined_as=False) == bytes([0b10001100])
+        assert bits_to_bytes(bits, undefined_as=True) == bytes([0b11011100])
+
+    def test_non_multiple_of_eight_rejected(self):
+        with pytest.raises(ParameterError):
+            bits_to_bytes([True] * 7)

@@ -1,0 +1,54 @@
+"""Tests for the wms paper-notation compatibility layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import wms
+from repro.core.params import WatermarkParams
+
+
+class TestPaperParams:
+    def test_symbol_mapping(self):
+        params = wms.paper_params(sigma=4, delta=0.01, phi=3, lam=10,
+                                  skip=1, omega=2, alpha=14, beta=6,
+                                  window=512, kappa=2)
+        assert params.sigma == 4
+        assert params.delta == 0.01
+        assert params.phi == 3
+        assert params.lambda_bits == 10
+        assert params.skip == 1
+        assert params.omega == 2
+        assert params.lsb_bits == 14
+        assert params.msb_bits == 6
+        assert params.window_size == 512
+        assert params.vote_threshold == 2
+
+    def test_defaults_match_library(self):
+        assert wms.paper_params() == WatermarkParams()
+
+
+class TestPaperWorkflow:
+    def test_fig3_fig4_workflow(self):
+        stream = wms.synthetic_stream(eta=80, n_items=6000, seed=3)
+        marked = wms.wm_embed(stream, wm="1", k1=b"wms-key")
+        assert marked.shape == stream.shape
+        buckets_t, buckets_f = wms.wm_detect(marked, b_wm=1, k1=b"wms-key")
+        assert len(buckets_t) == len(buckets_f) == 1
+        assert buckets_t[0] - buckets_f[0] > 10
+        assert wms.wm_construct(buckets_t, buckets_f, kappa=0) == [True]
+
+    def test_wm_construct_undefined_on_balanced_buckets(self):
+        assert wms.wm_construct([5], [5], kappa=0) == [None]
+        assert wms.wm_construct([7, 1], [1, 7], kappa=2) == [True, False]
+        assert wms.wm_construct([6], [5], kappa=3) == [None]
+
+    def test_detect_with_rho(self):
+        from repro.transforms.summarization import summarize
+
+        stream = wms.synthetic_stream(eta=80, n_items=6000, seed=3)
+        marked = wms.wm_embed(stream, wm="1", k1=b"wms-key")
+        buckets_t, buckets_f = wms.wm_detect(summarize(marked, 3),
+                                             b_wm=1, k1=b"wms-key",
+                                             rho=3.0)
+        assert buckets_t[0] - buckets_f[0] > 5
