@@ -1,21 +1,27 @@
 #!/usr/bin/env python
-"""The paper's Fig-1 scenario with the true streaming API.
+"""The paper's Fig-1 scenario with the streaming session API.
 
-sensor farm --> [watermark, single pass, finite window] --> licensed
-consumer --> (Mallory re-streams a recorded segment) --> detector.
+sensor farm --> [ProtectionSession, single pass, finite window] -->
+licensed consumer --> (Mallory re-streams a recorded segment) -->
+DetectionSession.
 
 The embedder sees the stream chunk-by-chunk and never holds more than
-its window; the detector consumes Mallory's re-streamed copy the same
-way, accumulating voting evidence as data flows::
+its window; halfway through it is **checkpointed** (``to_state()``) and
+resumed in a brand-new session object — the way a sharded deployment
+migrates a long-running stream between workers — with bit-identical
+output.  The detector consumes Mallory's re-streamed copy the same way,
+accumulating voting evidence as data flows::
 
     python examples/streaming_relay.py
 """
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 
-from repro import StreamDetector, StreamWatermarker, WatermarkParams
+from repro import DetectionSession, ProtectionSession, WatermarkParams
 from repro.streams import TemperatureSensorGenerator
 from repro.streams.model import chunked
 
@@ -27,15 +33,21 @@ def main() -> None:
     params = WatermarkParams(window_size=2048)
     sensor = TemperatureSensorGenerator(eta=100, seed=11)
 
-    # --- producer side: watermark on the fly --------------------------------
-    embedder = StreamWatermarker("1", SECRET_KEY, params=params)
+    # --- producer side: watermark on the fly, migrating mid-stream ----------
+    session = ProtectionSession("1", SECRET_KEY, params=params)
     delivered: list[np.ndarray] = []
-    for chunk in chunked(iter(sensor.generate(12000)), CHUNK):
-        delivered.append(embedder.process(chunk))
-    delivered.append(embedder.finalize())
+    for i, chunk in enumerate(chunked(iter(sensor.generate(12000)), CHUNK)):
+        delivered.append(session.feed(chunk))
+        if i == 11:  # 6000 items in: migrate the session to another worker
+            checkpoint = json.dumps(session.to_state())
+            session = ProtectionSession.from_state(json.loads(checkpoint),
+                                                   SECRET_KEY)
+            print(f"producer: checkpointed at item {session.items_ingested} "
+                  f"({len(checkpoint)} bytes, key excluded) and resumed")
+    delivered.append(session.finish())
     licensed_feed = np.concatenate(delivered)
     print(f"producer: streamed {len(licensed_feed)} watermarked items "
-          f"({embedder.report.embedded} carriers, window "
+          f"({session.report.embedded} carriers, window "
           f"{params.window_size})")
 
     # --- Mallory: records a middle chunk and re-streams it ------------------
@@ -43,16 +55,16 @@ def main() -> None:
     print(f"Mallory: re-streams {len(recorded)} recorded items")
 
     # --- rights owner: streaming detection on the re-streamed feed ----------
-    detector = StreamDetector(1, SECRET_KEY, params=params)
+    detector = DetectionSession(1, SECRET_KEY, params=params)
     checkpoint_every = 4  # report evidence as it accumulates
     for i, chunk in enumerate(chunked(iter(recorded), CHUNK)):
-        detector.process(chunk)
+        detector.feed(chunk)
         if (i + 1) % checkpoint_every == 0:
             partial = detector.result()
             print(f"  after {(i + 1) * CHUNK:>5} items: "
                   f"bias {partial.bias(0):>3} "
                   f"(confidence {partial.confidence(0):.4f})")
-    detector.finalize()
+    detector.finish()
     final = detector.result()
     print(f"verdict: bias {final.bias(0)} over {final.votes(0)} votes, "
           f"confidence {final.confidence(0):.6f}")

@@ -6,8 +6,20 @@ watermarking of numeric data streams in a single-pass, finite-window
 model, surviving sampling, summarization, segmentation and random
 alteration attacks.
 
-Quickstart
-----------
+The public API has two layers:
+
+* **Streaming sessions** (production face): push-based
+  :class:`ProtectionSession` / :class:`DetectionSession` with
+  checkpoint/resume, composable via :class:`Pipeline`; every pluggable
+  component (encodings, transforms, attacks, generators) resolves by
+  name through the central :data:`REGISTRY`.
+* **Offline conveniences** (paper-experiment face):
+  :func:`watermark_stream`, :func:`detect_watermark` and
+  :func:`detect_best` over in-memory arrays — thin wrappers over the
+  same single-pass machinery.
+
+Quickstart (offline)
+--------------------
 >>> import numpy as np
 >>> from repro import WatermarkParams, watermark_stream, detect_watermark
 >>> from repro.streams import TemperatureSensorGenerator
@@ -19,6 +31,15 @@ Quickstart
 >>> result = detect_watermark(sampled, 1, key=b"k1", transform_degree=3.0)
 >>> result.bias(0) > 0
 True
+
+Quickstart (streaming sessions)
+-------------------------------
+>>> from repro import ProtectionSession, DetectionSession
+>>> session = ProtectionSession("1", key=b"k1")
+>>> marked_chunks = [session.feed(chunk) for chunk in [stream[:3000]]]
+>>> state = session.to_state()          # checkpoint, migrate anywhere ...
+>>> session = ProtectionSession.from_state(state, key=b"k1")
+>>> tail = [session.feed(stream[3000:]), session.finish()]
 
 See README.md for the architecture overview and DESIGN.md for the
 paper-to-module map.
@@ -48,9 +69,20 @@ from repro.errors import (
     NormalizationError,
     ParameterError,
     QualityConstraintViolated,
+    RegistryError,
     ReproError,
+    SessionStateError,
     StreamError,
 )
+from repro.pipeline import (
+    DetectionSession,
+    FunctionStage,
+    NormalizeStage,
+    Pipeline,
+    ProtectionSession,
+    TransformStage,
+)
+from repro.registry import REGISTRY, ComponentRegistry
 from repro.streams.normalize import Normalizer
 from repro.util.hashing import KeyedHasher
 
@@ -80,8 +112,18 @@ __all__ = [
     "NormalizationError",
     "ParameterError",
     "QualityConstraintViolated",
+    "RegistryError",
     "ReproError",
+    "SessionStateError",
     "StreamError",
+    "DetectionSession",
+    "FunctionStage",
+    "NormalizeStage",
+    "Pipeline",
+    "ProtectionSession",
+    "TransformStage",
+    "REGISTRY",
+    "ComponentRegistry",
     "Normalizer",
     "KeyedHasher",
     "__version__",

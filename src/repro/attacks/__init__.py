@@ -14,7 +14,15 @@ test-suite and benchmarks demonstrate the resilience claims:
 * :mod:`repro.attacks.extreme_attack` — the Sec-5 targeted model
   (every a1-th extreme, ratio a2 of its radius-a3 subset);
 * :mod:`repro.attacks.suite` — a gauntlet runner for examples/benches.
+
+Stream-mangling attacks also register *builders* with the central
+:class:`repro.registry.ComponentRegistry` under kind ``"attack"``
+(options in, ``values -> values`` callable out), which is how the
+:class:`AttackSuite`, the ``repro attack`` CLI and
+:meth:`repro.transforms.Compose.from_names` resolve them by name.
 """
+
+from __future__ import annotations
 
 from repro.attacks.additive import additive_attack
 from repro.attacks.bias_detection import bias_detection_attack
@@ -22,6 +30,7 @@ from repro.attacks.correlation import CorrelationAttackReport, correlation_attac
 from repro.attacks.epsilon import epsilon_attack
 from repro.attacks.extreme_attack import targeted_extreme_attack
 from repro.attacks.suite import AttackOutcome, AttackSuite
+from repro.registry import REGISTRY
 
 __all__ = [
     "additive_attack",
@@ -33,3 +42,40 @@ __all__ = [
     "AttackOutcome",
     "AttackSuite",
 ]
+
+
+# ----------------------------------------------------------------------
+# registry builders: options in, `values -> values` callable out
+# ----------------------------------------------------------------------
+@REGISTRY.register("attack", "epsilon",
+                   description="(A6) epsilon-attack: alter a `tau` "
+                               "fraction of items by up to `epsilon`")
+def _build_epsilon(tau: float = 0.1, epsilon: float = 0.1, mu: float = 0.0,
+                   rng=None):
+    """Builder for the uninformed random-alteration attack."""
+    def apply(values):
+        return epsilon_attack(values, tau=tau, epsilon=epsilon, mu=mu,
+                              rng=rng)
+    return apply
+
+
+@REGISTRY.register("attack", "additive",
+                   description="(A5) insert a `fraction` of plausible "
+                               "fabricated values")
+def _build_additive(fraction: float = 0.1, rng=None):
+    """Builder for the bounded-insertion attack."""
+    def apply(values):
+        return additive_attack(values, fraction=fraction, rng=rng)
+    return apply
+
+
+@REGISTRY.register("attack", "extreme-targeted",
+                   description="Sec-5 targeted model: every `a1`-th "
+                               "extreme, ratio `a2` of its subset")
+def _build_extreme_targeted(a1: int = 5, a2: float = 0.5, rng=None):
+    """Builder for the targeted extreme-alteration attack."""
+    def apply(values):
+        attacked, _report = targeted_extreme_attack(values, a1=a1, a2=a2,
+                                                    rng=rng)
+        return attacked
+    return apply

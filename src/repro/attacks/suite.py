@@ -3,23 +3,45 @@
 Used by the ``attack_gauntlet`` example and the resilience overview in
 EXPERIMENTS.md: one watermarked stream goes in, a dict of attacked
 variants comes out, and the caller detects against each.
+
+The battery itself carries no attack code: every entry names a component
+registered with the central :class:`repro.registry.ComponentRegistry`
+(kind ``"attack"`` or ``"transform"``) plus its options, so a newly
+registered attack can join a gauntlet without touching this module.
 """
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
 
-from repro.attacks.additive import additive_attack
-from repro.attacks.epsilon import epsilon_attack
-from repro.attacks.extreme_attack import targeted_extreme_attack
 from repro.errors import ParameterError
-from repro.transforms.sampling import uniform_random_sampling
-from repro.transforms.segmentation import random_segment
-from repro.transforms.summarization import summarize
+from repro.registry import REGISTRY
 from repro.util.rng import make_rng, split_rng
+
+#: The default battery: (name, registry kind, component, options, description)
+#: covering A1, A2, A3, A5, A6 and the Sec-5 targeted model.
+DEFAULT_BATTERY = (
+    ("sampling-4", "transform", "sample", {"degree": 4},
+     "uniform random sampling, degree 4 (keep 25%)"),
+    ("sampling-12", "transform", "sample", {"degree": 12},
+     "uniform random sampling, degree 12 (keep ~8%)"),
+    ("summarization-5", "transform", "summarize", {"degree": 5},
+     "summarization, degree 5 (keep 20%)"),
+    ("segmentation-40", "transform", "segment", {"fraction": 0.4},
+     "random contiguous segment, 40% of the stream"),
+    ("epsilon-50-10", "attack", "epsilon", {"tau": 0.5, "epsilon": 0.1},
+     "epsilon-attack: tau=50%, epsilon=10%"),
+    ("epsilon-10-30", "attack", "epsilon", {"tau": 0.1, "epsilon": 0.3},
+     "epsilon-attack: tau=10%, epsilon=30%"),
+    ("additive-10", "attack", "additive", {"fraction": 0.10},
+     "insert 10% plausible values (A5)"),
+    ("targeted-extremes", "attack", "extreme-targeted", {"a1": 5, "a2": 0.5},
+     "Sec-5 model: every 5th extreme, half its subset"),
+)
 
 
 @dataclass(frozen=True)
@@ -53,34 +75,29 @@ class AttackSuite:
                               if k in include}
 
     def _register_defaults(self) -> None:
-        self._registry = {
-            "sampling-4": (
-                "uniform random sampling, degree 4 (keep 25%)",
-                lambda v, r: uniform_random_sampling(v, 4, rng=r)),
-            "sampling-12": (
-                "uniform random sampling, degree 12 (keep ~8%)",
-                lambda v, r: uniform_random_sampling(v, 12, rng=r)),
-            "summarization-5": (
-                "summarization, degree 5 (keep 20%)",
-                lambda v, r: summarize(v, 5)),
-            "segmentation-40": (
-                "random contiguous segment, 40% of the stream",
-                lambda v, r: random_segment(v, max(2, int(0.4 * len(v))),
-                                            rng=r)),
-            "epsilon-50-10": (
-                "epsilon-attack: tau=50%, epsilon=10%",
-                lambda v, r: epsilon_attack(v, tau=0.5, epsilon=0.1, rng=r)),
-            "epsilon-10-30": (
-                "epsilon-attack: tau=10%, epsilon=30%",
-                lambda v, r: epsilon_attack(v, tau=0.1, epsilon=0.3, rng=r)),
-            "additive-10": (
-                "insert 10% plausible values (A5)",
-                lambda v, r: additive_attack(v, fraction=0.10, rng=r)),
-            "targeted-extremes": (
-                "Sec-5 model: every 5th extreme, half its subset",
-                lambda v, r: targeted_extreme_attack(v, a1=5, a2=0.5,
-                                                     rng=r)[0]),
-        }
+        self._registry = {}
+        for name, kind, component, options, description in DEFAULT_BATTERY:
+            self.add(name, kind, component, options, description)
+
+    def add(self, name: str, kind: str, component: str,
+            options: "dict | None" = None, description: str = "") -> None:
+        """Append one registry-resolved entry to this gauntlet.
+
+        ``options`` are passed to the registered builder; builders with
+        an ``rng`` parameter additionally receive the per-run child RNG
+        that makes the gauntlet reproducible.
+        """
+        builder = REGISTRY.get(kind, component)
+        opts = dict(options or {})
+        accepts_rng = "rng" in inspect.signature(builder).parameters
+
+        def run(values: np.ndarray, rng) -> np.ndarray:
+            resolved = dict(opts)
+            if accepts_rng:
+                resolved["rng"] = rng
+            return np.asarray(builder(**resolved)(values))
+
+        self._registry[name] = (description, run)
 
     @property
     def names(self) -> list[str]:

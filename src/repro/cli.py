@@ -1,12 +1,19 @@
-"""Command-line interface: ``python -m repro <command>``.
+"""Command-line interface: ``python -m repro <command>`` (or ``repro``).
 
-A thin, scriptable wrapper over the offline API for the Fig-1 workflow:
+A thin, scriptable wrapper over the library for the Fig-1 workflow:
 
 * ``embed``   — watermark a CSV stream file;
 * ``detect``  — detect a watermark in a (possibly transformed) CSV file;
 * ``attack``  — apply a named transform/attack (for experimentation);
 * ``info``    — stream statistics relevant to parameter tuning
-  (measured η(σ, δ), extremes, subset sizes).
+  (measured η(σ, δ), extremes, subset sizes);
+* ``list``    — enumerate every registered component (encodings,
+  transforms, attacks, generators).
+
+All component names — encoding choices, attack/transform kinds — resolve
+through the central :class:`repro.registry.ComponentRegistry`; a newly
+registered component is immediately usable here without editing this
+module.
 
 Values are exchanged as single-column CSV (see ``repro.streams.io``);
 the secret key is taken from ``--key`` or the ``REPRO_KEY`` environment
@@ -17,6 +24,7 @@ variable.  Streams must be pre-normalized into (-0.5, 0.5) unless
 from __future__ import annotations
 
 import argparse
+import inspect
 import json
 import os
 import sys
@@ -28,15 +36,20 @@ from repro.core.embedder import watermark_stream
 from repro.core.extremes import average_subset_size, estimate_eta, find_major_extremes
 from repro.core.params import WatermarkParams
 from repro.errors import ReproError
+from repro.registry import REGISTRY
 from repro.streams.io import load_stream_csv, save_stream_csv
 from repro.streams.normalize import Normalizer
 
 
 def _build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Resilient watermarking for sensor streams "
                     "(Sion/Atallah/Prabhakar, VLDB 2004 reproduction)")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_common(p: argparse.ArgumentParser, needs_key: bool) -> None:
@@ -50,20 +63,20 @@ def _build_parser() -> argparse.ArgumentParser:
                        help='WatermarkParams overrides, e.g. '
                             '\'{"phi": 9, "delta": 0.01}\'')
 
+    encodings = REGISTRY.names("encoding")
+
     embed = sub.add_parser("embed", help="watermark a stream file")
     add_common(embed, needs_key=True)
     embed.add_argument("output", help="output CSV path")
     embed.add_argument("--watermark", default="1",
                        help="payload: bit string or text (default '1')")
-    embed.add_argument("--encoding", default="multihash",
-                       choices=("multihash", "initial", "quadres"))
+    embed.add_argument("--encoding", default="multihash", choices=encodings)
 
     detect = sub.add_parser("detect", help="detect a watermark")
     add_common(detect, needs_key=True)
     detect.add_argument("--bits", type=int, default=1,
                         help="payload length in bits (default 1)")
-    detect.add_argument("--encoding", default="multihash",
-                        choices=("multihash", "initial", "quadres"))
+    detect.add_argument("--encoding", default="multihash", choices=encodings)
     detect.add_argument("--degree", type=float, default=1.0,
                         help="known transform degree rho (default 1)")
     detect.add_argument("--expect", default=None,
@@ -72,10 +85,11 @@ def _build_parser() -> argparse.ArgumentParser:
     attack = sub.add_parser("attack", help="apply a transform/attack")
     add_common(attack, needs_key=False)
     attack.add_argument("output", help="output CSV path")
-    attack.add_argument("--kind", required=True,
-                        choices=("sample", "summarize", "segment",
-                                 "epsilon"),
-                        help="transform family")
+    attack.add_argument("--kind", required=True, metavar="NAME",
+                        help="registered attack or transform name "
+                             "(see `repro list`); 'sample' accepts "
+                             "--degree, 'epsilon' accepts --tau/--epsilon, "
+                             "...")
     attack.add_argument("--degree", type=int, default=2,
                         help="degree for sample/summarize")
     attack.add_argument("--length", type=int, default=None,
@@ -84,10 +98,25 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="altered fraction (epsilon)")
     attack.add_argument("--epsilon", type=float, default=0.1,
                         help="alteration amplitude (epsilon)")
+    attack.add_argument("--fraction", type=float, default=None,
+                        help="inserted fraction (additive) or kept "
+                             "fraction (segment)")
+    attack.add_argument("--scale", type=float, default=1.0,
+                        help="multiplier (linear)")
+    attack.add_argument("--offset", type=float, default=0.0,
+                        help="additive shift (linear)")
     attack.add_argument("--seed", type=int, default=None)
 
     info = sub.add_parser("info", help="stream statistics for tuning")
     add_common(info, needs_key=False)
+
+    list_parser = sub.add_parser(
+        "list", help="enumerate registered components")
+    list_parser.add_argument("--kind", default=None,
+                             choices=REGISTRY.KINDS,
+                             help="restrict to one component kind")
+    list_parser.add_argument("--json", action="store_true",
+                             help="machine-readable output")
     return parser
 
 
@@ -147,27 +176,36 @@ def _cmd_detect(args) -> int:
 
 
 def _cmd_attack(args) -> int:
-    from repro.attacks.epsilon import epsilon_attack
-    from repro.transforms.sampling import uniform_random_sampling
-    from repro.transforms.segmentation import random_segment
-    from repro.transforms.summarization import summarize
-
     values = _load(args)
-    if args.kind == "sample":
-        out = uniform_random_sampling(values, args.degree, rng=args.seed)
-    elif args.kind == "summarize":
-        out = summarize(values, args.degree)
-    elif args.kind == "segment":
-        length = args.length or len(values) // 2
-        out = random_segment(values, length, rng=args.seed)
-    else:
-        out = epsilon_attack(values, tau=args.tau, epsilon=args.epsilon,
-                             rng=args.seed)
+    # Transforms shadow attacks on a name collision — the same order
+    # Compose.from_names and TransformStage use, so one name always
+    # means one component everywhere.
+    registration = REGISTRY.find(args.kind, kinds=("transform", "attack"))
+    builder = registration.obj
+    # Offer every CLI tuning flag; the builder takes what it understands.
+    candidates = {
+        "degree": args.degree,
+        "length": args.length,
+        "tau": args.tau,
+        "epsilon": args.epsilon,
+        "fraction": args.fraction,
+        "scale": args.scale,
+        "offset": args.offset,
+        "rng": args.seed,
+    }
+    accepted = inspect.signature(builder).parameters
+    # Unset flags (None) are dropped so every builder keeps its own
+    # default (e.g. segment's "half the stream").
+    options = {name: value for name, value in candidates.items()
+               if name in accepted and value is not None}
+    out = np.asarray(builder(**options)(values))
     if args.normalize:
         low, high = (float(x) for x in args.normalize.split(":"))
         out = Normalizer(low=low, high=high).denormalize(out)
     save_stream_csv(args.output, out)
-    print(json.dumps({"kind": args.kind, "input_items": len(values),
+    print(json.dumps({"kind": registration.name,
+                      "component_kind": registration.kind,
+                      "input_items": len(values),
                       "output_items": len(out)}, indent=2))
     return 0
 
@@ -192,11 +230,29 @@ def _cmd_info(args) -> int:
     return 0
 
 
+def _cmd_list(args) -> int:
+    snapshot = REGISTRY.snapshot()
+    if args.kind:
+        snapshot = {args.kind: snapshot[args.kind]}
+    if args.json:
+        print(json.dumps(snapshot, indent=2))
+        return 0
+    for kind, components in snapshot.items():
+        print(f"{kind}s ({len(components)}):")
+        for name, description in components.items():
+            text = f"  {name}"
+            if description:
+                text += f" — {description}"
+            print(text)
+    return 0
+
+
 _COMMANDS = {
     "embed": _cmd_embed,
     "detect": _cmd_detect,
     "attack": _cmd_attack,
     "info": _cmd_info,
+    "list": _cmd_list,
 }
 
 

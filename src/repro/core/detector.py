@@ -179,6 +179,11 @@ class StreamDetector(StreamScanner):
         self._buckets_false = [0] * wm_length
         self._abstentions = 0
 
+    @property
+    def wm_length(self) -> int:
+        """Number of payload bits this detector reconstructs."""
+        return len(self._buckets_true)
+
     def _handle_selected(self, extreme: Extreme, window_values: np.ndarray,
                          local: int, start: int, end: int, label: int,
                          bit_index: int) -> float:
@@ -201,6 +206,31 @@ class StreamDetector(StreamScanner):
             counters=self.counters,
             abstentions=self._abstentions,
             vote_threshold=self._params.vote_threshold)
+
+    # ------------------------------------------------------------------
+    # checkpoint / resume
+    # ------------------------------------------------------------------
+    def vote_state(self) -> dict:
+        """JSON-compatible snapshot of the voting buckets."""
+        return {
+            "buckets_true": list(self._buckets_true),
+            "buckets_false": list(self._buckets_false),
+            "abstentions": self._abstentions,
+        }
+
+    def restore_vote_state(self, state: dict) -> None:
+        """Load a :meth:`vote_state` snapshot into this detector."""
+        buckets_true = [int(x) for x in state["buckets_true"]]
+        buckets_false = [int(x) for x in state["buckets_false"]]
+        if len(buckets_true) != len(self._buckets_true) \
+                or len(buckets_false) != len(self._buckets_false):
+            raise ParameterError(
+                f"checkpoint holds {len(buckets_true)} vote buckets, "
+                f"detector was built for {len(self._buckets_true)} bits"
+            )
+        self._buckets_true = buckets_true
+        self._buckets_false = buckets_false
+        self._abstentions = int(state["abstentions"])
 
 
 def detect_best(values, wm_length, key,

@@ -129,6 +129,16 @@ class StreamWatermarker(StreamScanner):
         """The payload being embedded (defensive copy)."""
         return list(self._wm_bits)
 
+    def restore_scan_state(self, state: dict) -> None:
+        """Load a checkpoint and re-tie the report to the new counters.
+
+        The base restore replaces ``self.counters`` with a fresh object;
+        the embed report must keep aliasing it or its statistics would
+        freeze at the checkpointed values while scanning continues.
+        """
+        super().restore_scan_state(state)
+        self.report.counters = self.counters
+
     def _admit(self, value: float) -> None:
         if self._monitor is not None:
             self._monitor.admit(value)

@@ -1,8 +1,10 @@
-"""Bit-encoding strategy construction.
+"""Bit-encoding strategy construction, resolved through the registry.
 
 The embedder and detector accept either a strategy *name* or a pre-built
-strategy object; the factory keeps the name-to-class mapping in one
-place.  Strategies share the interface::
+strategy object; names resolve through the central
+:class:`repro.registry.ComponentRegistry`, so a newly registered
+encoding is immediately constructible here (and visible to the CLI)
+without touching this module.  Strategies share the interface::
 
     embed(q_subset, extreme_offset, label, bit)  -> EmbedOutcome
     detect(float_subset, extreme_offset, label)  -> Vote
@@ -15,10 +17,24 @@ from repro.core.encoding_multihash import MultihashEncoding
 from repro.core.encoding_quadres import QuadResEncoding
 from repro.core.params import WatermarkParams
 from repro.core.quantize import Quantizer
-from repro.errors import ParameterError
+from repro.errors import ParameterError, RegistryError
+from repro.registry import REGISTRY
 from repro.util.hashing import KeyedHasher
 
-ENCODING_NAMES = ("multihash", "initial", "quadres")
+REGISTRY.add("encoding", "multihash", MultihashEncoding,
+             description="Sec-4.3 multi-hash convention over subset "
+                         "averages (default; survives summarization)")
+REGISTRY.add("encoding", "initial", InitialEncoding,
+             description="Sec-3.2 guarded single-bit encoding of the "
+                         "extreme value")
+REGISTRY.add("encoding", "quadres", QuadResEncoding,
+             description="quadratic-residue prefix encoding "
+                         "(epsilon-robust value convention)")
+
+
+def encoding_names() -> "tuple[str, ...]":
+    """Registered encoding names (registry-backed, never hard-coded)."""
+    return REGISTRY.names("encoding")
 
 
 def build_encoding(encoding, params: WatermarkParams, quantizer: Quantizer,
@@ -37,12 +53,20 @@ def build_encoding(encoding, params: WatermarkParams, quantizer: Quantizer,
             f"encoding object {encoding!r} lacks the strategy interface "
             f"{required}"
         )
-    if encoding == "multihash":
-        return MultihashEncoding(params, quantizer, hasher, **options)
-    if encoding == "initial":
-        return InitialEncoding(params, quantizer, hasher, **options)
-    if encoding == "quadres":
-        return QuadResEncoding(params, quantizer, hasher, **options)
-    raise ParameterError(
-        f"unknown encoding {encoding!r}; choose one of {ENCODING_NAMES}"
-    )
+    try:
+        strategy_cls = REGISTRY.get("encoding", encoding)
+    except RegistryError as exc:
+        # Keep the historical ParameterError contract at this boundary
+        # (RegistryError is also a ValueError, but callers catch
+        # ParameterError specifically).
+        raise ParameterError(str(exc)) from None
+    return strategy_cls(params, quantizer, hasher, **options)
+
+
+def __getattr__(name: str):
+    # Backward-compatible ENCODING_NAMES, resolved lazily (PEP 562) so
+    # importing this module does not force registry population (which
+    # would eagerly import every provider module on any core import).
+    if name == "ENCODING_NAMES":
+        return encoding_names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

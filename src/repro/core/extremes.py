@@ -119,6 +119,43 @@ class ZigzagState:
                        min_index=next_index, min_value=next_value)
         raise ParameterError(f"extreme_kind must be +-1, got {extreme_kind}")
 
+    # ------------------------------------------------------------------
+    # checkpoint / resume
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """JSON-compatible snapshot of the continuation state.
+
+        The ±infinity sentinels of a direction-unknown scan are encoded
+        as the strings ``"inf"`` / ``"-inf"`` so the state stays valid
+        under strict JSON parsers.
+        """
+        def encode(value: float):
+            if value == float("inf"):
+                return "inf"
+            if value == float("-inf"):
+                return "-inf"
+            return float(value)
+
+        return {
+            "trend": self.trend,
+            "max_index": self.max_index,
+            "max_value": encode(self.max_value),
+            "min_index": self.min_index,
+            "min_value": encode(self.min_value),
+            "origin": self.origin,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ZigzagState":
+        """Rebuild a continuation state from :meth:`to_state` output."""
+        return cls(
+            trend=int(state["trend"]),
+            max_index=int(state["max_index"]),
+            max_value=float(state["max_value"]),
+            min_index=int(state["min_index"]),
+            min_value=float(state["min_value"]),
+            origin=None if state["origin"] is None else int(state["origin"]))
+
 
 def zigzag_pivots(values: np.ndarray, prominence: float,
                   state: "ZigzagState | None" = None,

@@ -114,6 +114,19 @@ class StreamingLabeler:
         """Forget all history (e.g. when detection restarts on a segment)."""
         self._values.clear()
 
+    # ------------------------------------------------------------------
+    # checkpoint / resume
+    # ------------------------------------------------------------------
+    def history(self) -> "list[float]":
+        """The retained extreme values, oldest first (for checkpoints)."""
+        return [float(v) for v in self._values]
+
+    def restore(self, values) -> None:
+        """Replace the history with a checkpointed :meth:`history` list."""
+        self._values.clear()
+        for value in values:
+            self._values.append(float(value))
+
 
 def labels_for_extreme_values(extreme_values, lambda_bits: int, skip: int,
                               quantizer: Quantizer, msb_bits: int

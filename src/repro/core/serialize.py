@@ -9,11 +9,13 @@ remain readable and tamper-evident alongside any notarization scheme.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 from pathlib import Path
 
 from repro.core.detector import DetectionResult
 from repro.core.embedder import EmbedReport
+from repro.core.params import WatermarkParams
 from repro.core.scanner import ScanCounters
 from repro.errors import ParameterError
 
@@ -21,23 +23,36 @@ _FORMAT_VERSION = 1
 
 
 def _counters_to_dict(counters: ScanCounters) -> dict:
-    return {
-        "items": counters.items,
-        "extremes_confirmed": counters.extremes_confirmed,
-        "majors": counters.majors,
-        "warmup_skips": counters.warmup_skips,
-        "selected": counters.selected,
-        "missed_evictions": counters.missed_evictions,
-        "subset_size_sum": counters.subset_size_sum,
-    }
+    return counters.to_dict()
 
 
 def _counters_from_dict(data: dict) -> ScanCounters:
-    return ScanCounters(**{key: int(data[key])
-                           for key in ("items", "extremes_confirmed",
-                                       "majors", "warmup_skips", "selected",
-                                       "missed_evictions",
-                                       "subset_size_sum")})
+    return ScanCounters.from_dict(data)
+
+
+def params_to_dict(params: WatermarkParams) -> dict:
+    """Serialize watermarking parameters field-by-field.
+
+    Every :class:`WatermarkParams` field is a plain scalar, so the dict
+    is JSON-compatible as-is; :func:`params_from_dict` re-runs the
+    constructor and therefore re-validates every invariant.
+    """
+    return dataclasses.asdict(params)
+
+
+def params_from_dict(data: dict) -> WatermarkParams:
+    """Reconstruct :class:`WatermarkParams` from :func:`params_to_dict`.
+
+    Unknown keys are rejected (a newer library's parameter would
+    otherwise be silently dropped, changing detection semantics).
+    """
+    known = {f.name for f in dataclasses.fields(WatermarkParams)}
+    unknown = set(data) - known
+    if unknown:
+        raise ParameterError(
+            f"unknown WatermarkParams fields in archive: {sorted(unknown)}"
+        )
+    return WatermarkParams(**data)
 
 
 def detection_to_dict(result: DetectionResult) -> dict:

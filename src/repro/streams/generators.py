@@ -30,10 +30,14 @@ from typing import Iterator
 import numpy as np
 
 from repro.errors import ParameterError
+from repro.registry import REGISTRY
 from repro.streams.model import StreamMeta
 from repro.util.rng import make_rng
 
 
+@REGISTRY.register("generator", "temperature",
+                   description="Sec-6 controllable temperature-sensor "
+                               "stream (eta, shape, noise)")
 @dataclass
 class TemperatureSensorGenerator:
     """Controllable synthetic sensor stream (normalized domain).
@@ -183,6 +187,9 @@ class TemperatureSensorGenerator:
                 yield float(value)
 
 
+@REGISTRY.register("generator", "gaussian",
+                   description="i.i.d. truncated-gaussian stream "
+                               "(unwatermarked false-positive baseline)")
 @dataclass
 class GaussianStream:
     """I.i.d. gaussian stream — the paper's *random, un-watermarked data*.
@@ -229,6 +236,9 @@ class GaussianStream:
         return np.clip(values, -0.4949, 0.4949)
 
 
+@REGISTRY.register("generator", "random-walk",
+                   description="mean-reverting smoothed random walk "
+                               "(irregular-extreme stress source)")
 @dataclass
 class RandomWalkStream:
     """Mean-reverting smoothed random walk (Ornstein–Uhlenbeck flavour).

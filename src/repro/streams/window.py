@@ -88,6 +88,36 @@ class SlidingWindow:
         return self._items[offset]
 
     # ------------------------------------------------------------------
+    # checkpoint / resume
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """JSON-compatible snapshot: capacity, start index and contents.
+
+        Floats survive the JSON round-trip exactly (Python serializes
+        the shortest repr that reparses to the same double), which is
+        what makes checkpoint-resumed detection bit-identical.
+        """
+        return {
+            "capacity": self._capacity,
+            "start_index": self._start_index,
+            "items": [float(v) for v in self._items],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "SlidingWindow":
+        """Rebuild a window from :meth:`to_state` output."""
+        window = cls(int(state["capacity"]))
+        items = [float(v) for v in state["items"]]
+        if len(items) > window.capacity:
+            raise StreamError(
+                f"window state holds {len(items)} items, capacity is "
+                f"{window.capacity}"
+            )
+        window._items.extend(items)
+        window._start_index = int(state["start_index"])
+        return window
+
+    # ------------------------------------------------------------------
     # mutation
     # ------------------------------------------------------------------
     def replace(self, offset: int, value: float) -> None:

@@ -10,8 +10,18 @@ sensor stream — and therefore the transforms a watermark must survive:
 * :mod:`repro.transforms.linear` — (A4) scaling and offset changes;
 * :mod:`repro.transforms.compose` — sequential composition (Fig 10(b)'s
   combined sampling x summarization experiment).
+
+Each transform also registers a *builder* with the central
+:class:`repro.registry.ComponentRegistry` under kind ``"transform"``:
+``REGISTRY.get("transform", "sample")(degree=4, rng=0)`` returns a
+``values -> values`` callable, which is the currency of
+:class:`Compose`, the streaming :class:`repro.pipeline.Pipeline` and the
+``repro attack`` CLI.
 """
 
+from __future__ import annotations
+
+from repro.registry import REGISTRY
 from repro.transforms.compose import Compose, describe_pipeline
 from repro.transforms.linear import linear_transform
 from repro.transforms.sampling import fixed_random_sampling, uniform_random_sampling
@@ -28,3 +38,68 @@ __all__ = [
     "segment",
     "summarize",
 ]
+
+
+# ----------------------------------------------------------------------
+# registry builders: options in, `values -> values` callable out
+# ----------------------------------------------------------------------
+@REGISTRY.register("transform", "sample",
+                   description="(A2) uniform random sampling of degree "
+                               "`degree` (keep one item in `degree`)")
+def _build_sample(degree: int = 2, rng=None):
+    """Builder for uniform random sampling."""
+    def apply(values):
+        return uniform_random_sampling(values, degree, rng=rng)
+    return apply
+
+
+@REGISTRY.register("transform", "sample-fixed",
+                   description="(A2) fixed random sampling: keep every "
+                               "`degree`-th item")
+def _build_sample_fixed(degree: int = 2):
+    """Builder for fixed (strided) sampling."""
+    def apply(values):
+        return fixed_random_sampling(values, degree)
+    return apply
+
+
+@REGISTRY.register("transform", "summarize",
+                   description="(A1) summarization of degree `degree` "
+                               "(chunk `aggregate`, default mean)")
+def _build_summarize(degree: int = 2, aggregate: str = "mean"):
+    """Builder for chunk summarization."""
+    def apply(values):
+        return summarize(values, degree, aggregate=aggregate)
+    return apply
+
+
+@REGISTRY.register("transform", "segment",
+                   description="(A3) random contiguous segment: `length` "
+                               "items or a `fraction` of the stream "
+                               "(default: half)")
+def _build_segment(length: "int | None" = None,
+                   fraction: "float | None" = None, rng=None):
+    """Builder for random segment extraction.
+
+    An absolute ``length`` wins over a relative ``fraction``; with
+    neither, half the stream is kept.
+    """
+    def apply(values):
+        if length is not None:
+            n = length
+        elif fraction is not None:
+            n = max(2, int(fraction * len(values)))
+        else:
+            n = max(2, len(values) // 2)
+        return random_segment(values, n, rng=rng)
+    return apply
+
+
+@REGISTRY.register("transform", "linear",
+                   description="(A4) affine value change: "
+                               "`scale` * x + `offset`")
+def _build_linear(scale: float = 1.0, offset: float = 0.0):
+    """Builder for linear (affine) value transforms."""
+    def apply(values):
+        return linear_transform(values, scale=scale, offset=offset)
+    return apply

@@ -29,6 +29,29 @@ class Compose:
                 raise ParameterError(f"step {name!r} is not callable")
         self._steps = list(steps)
 
+    @classmethod
+    def from_names(cls, specs: Sequence) -> "Compose":
+        """Build a pipeline from registry-resolved transform names.
+
+        Each spec is either a bare name or a ``(name, options)`` pair;
+        names resolve through the central registry (transforms first,
+        then attacks, so a gauntlet step like ``"epsilon"`` works too)::
+
+            Compose.from_names([("sample", {"degree": 4}),
+                                ("summarize", {"degree": 5})])
+        """
+        from repro.registry import REGISTRY  # local: registry is a consumer too
+
+        steps: list[tuple[str, Transform]] = []
+        for spec in specs:
+            if isinstance(spec, str):
+                name, options = spec, {}
+            else:
+                name, options = spec
+            builder = REGISTRY.find(name, kinds=("transform", "attack")).obj
+            steps.append((name, builder(**dict(options))))
+        return cls(steps)
+
     @property
     def step_names(self) -> list[str]:
         """Names of the pipeline stages, in application order."""

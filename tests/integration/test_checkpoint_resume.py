@@ -1,0 +1,149 @@
+"""Acceptance: checkpoint-at-midpoint + resume == uninterrupted run.
+
+A 6000-item stream is fed chunk-by-chunk through a
+:class:`ProtectionSession`; at item 3000 the session is serialized to a
+JSON string (a real cross-process migration would ship exactly these
+bytes) and resumed in a fresh session object.  The watermarked output
+and the final per-bit detection bias must be *identical* to the
+uninterrupted offline ``watermark_stream`` / ``detect_watermark`` run.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import (
+    DetectionSession,
+    Normalizer,
+    Pipeline,
+    ProtectionSession,
+    TransformStage,
+    WatermarkParams,
+    detect_watermark,
+    watermark_stream,
+)
+from repro.streams import TemperatureSensorGenerator
+from tests.conftest import KEY
+
+CHUNK = 250
+CHECKPOINT_AT = 3000
+WATERMARK = "10"  # two bits, so per-bit bias is actually exercised
+
+
+@pytest.fixture(scope="module")
+def stream() -> np.ndarray:
+    return TemperatureSensorGenerator(eta=60, seed=7).generate(6000)
+
+
+@pytest.fixture(scope="module")
+def session_params() -> WatermarkParams:
+    # phi must exceed the payload length (paper Sec 3.2).
+    return WatermarkParams(phi=5)
+
+
+def feed_chunks(session, values: np.ndarray, start: int, end: int) -> list:
+    return [session.feed(values[i:i + CHUNK])
+            for i in range(start, end, CHUNK)]
+
+
+class TestCheckpointResume:
+    def test_protection_session_checkpoint_matches_offline(
+            self, stream, session_params):
+        offline_marked, _ = watermark_stream(stream, WATERMARK, KEY,
+                                             params=session_params)
+
+        session = ProtectionSession(WATERMARK, KEY, params=session_params)
+        pieces = feed_chunks(session, stream, 0, CHECKPOINT_AT)
+        assert session.items_ingested == CHECKPOINT_AT
+        wire_bytes = json.dumps(session.to_state())
+
+        resumed = ProtectionSession.from_state(json.loads(wire_bytes), KEY)
+        pieces += feed_chunks(resumed, stream, CHECKPOINT_AT, len(stream))
+        pieces.append(resumed.finish())
+        streamed_marked = np.concatenate(pieces)
+
+        assert len(streamed_marked) == len(stream)
+        assert np.array_equal(streamed_marked, offline_marked)
+
+    def test_detection_session_checkpoint_bias_identical(
+            self, stream, session_params):
+        marked, _ = watermark_stream(stream, WATERMARK, KEY,
+                                     params=session_params)
+        offline = detect_watermark(marked, len(WATERMARK), KEY,
+                                   params=session_params)
+
+        session = DetectionSession(len(WATERMARK), KEY,
+                                   params=session_params)
+        feed_chunks(session, marked, 0, CHECKPOINT_AT)
+        wire_bytes = json.dumps(session.to_state())
+
+        resumed = DetectionSession.from_state(json.loads(wire_bytes), KEY)
+        feed_chunks(resumed, marked, CHECKPOINT_AT, len(marked))
+        resumed.finish()
+        result = resumed.result()
+
+        assert result.wm_length == offline.wm_length
+        for bit in range(offline.wm_length):
+            assert result.bias(bit) == offline.bias(bit)
+            assert result.votes(bit) == offline.votes(bit)
+        assert result.wm_estimate() == offline.wm_estimate()
+        assert offline.bias(0) > 0  # the run itself must be decisive
+
+    def test_resume_is_restartable_at_any_chunk(self, stream,
+                                                session_params):
+        """Checkpoint/resume at *every* chunk boundary stays exact."""
+        offline_marked, _ = watermark_stream(stream, WATERMARK, KEY,
+                                             params=session_params)
+        session = ProtectionSession(WATERMARK, KEY, params=session_params)
+        pieces = []
+        for i in range(0, len(stream), CHUNK):
+            pieces.append(session.feed(stream[i:i + CHUNK]))
+            session = ProtectionSession.from_state(
+                json.loads(json.dumps(session.to_state())), KEY)
+        pieces.append(session.finish())
+        assert np.array_equal(np.concatenate(pieces), offline_marked)
+
+
+class TestPipeline:
+    def test_normalize_protect_pipeline_matches_manual(self, stream,
+                                                       session_params):
+        """Physical-unit chunks through [Normalizer -> ProtectionSession]
+        equal normalize-then-watermark done by hand."""
+        celsius = 17.5 + 10.0 * stream
+        normalizer = Normalizer(low=10.0, high=25.0)
+        expected, _ = watermark_stream(normalizer.normalize(celsius),
+                                       WATERMARK, KEY,
+                                       params=session_params)
+
+        pipeline = Pipeline([normalizer,
+                             ProtectionSession(WATERMARK, KEY,
+                                               params=session_params)])
+        out = pipeline.run(celsius, chunk_size=CHUNK)
+        assert np.array_equal(out, expected)
+
+    def test_pipeline_with_transform_and_detector_collects_votes(
+            self, stream, session_params):
+        """An end-to-end adversarial chain: protect -> summarize ->
+        detect, all streaming, votes accumulate toward the payload."""
+        protect = ProtectionSession(WATERMARK, KEY, params=session_params)
+        detect = DetectionSession(len(WATERMARK), KEY,
+                                  params=session_params,
+                                  transform_degree=2.0)
+        pipeline = Pipeline([protect,
+                             TransformStage("summarize", degree=2),
+                             detect])
+        out = pipeline.run(stream, chunk_size=1000)
+        assert len(out) > 0
+        result = detect.result()
+        assert result.bias(0) > 0
+
+    def test_stage_names_are_reportable(self, session_params):
+        pipeline = Pipeline([Normalizer(low=0.0, high=1.0),
+                             TransformStage("sample", degree=2, rng=0),
+                             ProtectionSession("1", KEY,
+                                               params=session_params)])
+        assert pipeline.stage_names == ["normalize", "sample",
+                                        "ProtectionSession"]

@@ -1,0 +1,182 @@
+"""Tests for the central component registry."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.encoding_factory import ENCODING_NAMES, encoding_names
+from repro.errors import ParameterError, RegistryError, ReproError
+from repro.registry import REGISTRY, ComponentRegistry
+
+
+def fresh_registry() -> ComponentRegistry:
+    """An isolated registry with no built-in provider modules."""
+    return ComponentRegistry(provider_modules=())
+
+
+class TestRegistration:
+    def test_add_and_get(self):
+        registry = fresh_registry()
+        sentinel = object()
+        registry.add("encoding", "toy", sentinel, description="a toy")
+        assert registry.get("encoding", "toy") is sentinel
+        assert registry.describe("encoding") == {"toy": "a toy"}
+
+    def test_decorator_returns_object(self):
+        registry = fresh_registry()
+
+        @registry.register("transform", "noop", description="identity")
+        def noop():
+            return lambda values: values
+
+        assert registry.get("transform", "noop") is noop
+
+    def test_duplicate_name_rejected(self):
+        registry = fresh_registry()
+        registry.add("attack", "twice", object())
+        with pytest.raises(RegistryError, match="already registered"):
+            registry.add("attack", "twice", object())
+
+    def test_same_name_allowed_across_kinds(self):
+        registry = fresh_registry()
+        registry.add("attack", "shared", object())
+        registry.add("transform", "shared", object())
+        assert registry.names("attack") == ("shared",)
+        assert registry.names("transform") == ("shared",)
+
+    def test_empty_name_rejected(self):
+        registry = fresh_registry()
+        with pytest.raises(RegistryError, match="non-empty string"):
+            registry.add("encoding", "", object())
+
+    def test_unknown_kind_rejected(self):
+        registry = fresh_registry()
+        with pytest.raises(RegistryError, match="unknown component kind"):
+            registry.add("codec", "x", object())
+
+    def test_registry_error_is_repro_and_value_error(self):
+        assert issubclass(RegistryError, ReproError)
+        assert issubclass(RegistryError, ValueError)
+
+
+class TestLookupErrors:
+    def test_unknown_name_lists_valid_names(self):
+        registry = fresh_registry()
+        registry.add("encoding", "alpha", object())
+        registry.add("encoding", "beta", object())
+        with pytest.raises(RegistryError) as excinfo:
+            registry.get("encoding", "gamma")
+        message = str(excinfo.value)
+        assert "alpha" in message and "beta" in message
+
+    def test_typo_gets_a_suggestion(self):
+        registry = fresh_registry()
+        registry.add("attack", "epsilon", object())
+        with pytest.raises(RegistryError, match="Did you mean 'epsilon'"):
+            registry.get("attack", "epsilom")
+
+    def test_find_searches_kinds_in_order(self):
+        registry = fresh_registry()
+        first = object()
+        registry.add("transform", "both", first)
+        registry.add("attack", "both", object())
+        assert registry.find("both", kinds=("transform", "attack")).obj \
+            is first
+
+    def test_find_error_lists_all_searched_kinds(self):
+        registry = fresh_registry()
+        registry.add("transform", "sample", object())
+        registry.add("attack", "epsilon", object())
+        with pytest.raises(RegistryError) as excinfo:
+            registry.find("zap", kinds=("attack", "transform"))
+        message = str(excinfo.value)
+        assert "epsilon" in message and "sample" in message
+
+
+class TestBuiltinPopulation:
+    def test_builtins_meet_the_floor(self):
+        """The acceptance floor: >=3 encodings, >=4 transforms, >=3 attacks."""
+        assert len(REGISTRY.names("encoding")) >= 3
+        assert len(REGISTRY.names("transform")) >= 4
+        assert len(REGISTRY.names("attack")) >= 3
+        assert len(REGISTRY.names("generator")) >= 3
+
+    def test_encoding_names_derive_from_registry(self):
+        assert ENCODING_NAMES == REGISTRY.names("encoding")
+        assert encoding_names() == REGISTRY.names("encoding")
+
+    def test_factory_unknown_name_error_lists_names(self):
+        from repro.core.encoding_factory import build_encoding
+        from repro.core.params import WatermarkParams
+        from repro.core.quantize import Quantizer
+        from repro.util.hashing import KeyedHasher
+
+        params = WatermarkParams()
+        with pytest.raises(ParameterError) as excinfo:
+            build_encoding("rot13", params,
+                           Quantizer(params.value_bits,
+                                     params.avg_extra_bits),
+                           KeyedHasher(b"k"))
+        for name in REGISTRY.names("encoding"):
+            assert name in str(excinfo.value)
+
+
+class TestLazyPopulation:
+    def test_core_import_does_not_populate_providers(self):
+        """Importing the core (or looking up an encoding) must not drag
+        in the attack/transform/generator provider modules."""
+        import subprocess
+        import sys
+
+        code = (
+            "import sys\n"
+            "from repro.core.embedder import StreamWatermarker\n"
+            "w = StreamWatermarker('1', b'k')\n"  # encoding lookup hits
+            "assert 'repro.attacks' not in sys.modules, 'attacks imported'\n"
+            "assert 'repro.transforms' not in sys.modules, "
+            "'transforms imported'\n"
+            "from repro.core import ENCODING_NAMES\n"  # lazy, populates
+            "assert len(ENCODING_NAMES) >= 3\n"
+            "assert 'repro.attacks' in sys.modules\n"
+        )
+        completed = subprocess.run([sys.executable, "-c", code],
+                                   capture_output=True, text=True)
+        assert completed.returncode == 0, completed.stderr
+
+
+class TestCliIntegration:
+    def test_new_registration_is_immediately_cli_visible(self, capsys):
+        """A plugin registered at runtime shows up in `repro list`."""
+        name = "test-only-transform"
+        if name not in REGISTRY.names("transform"):
+            REGISTRY.add("transform", name,
+                         lambda: (lambda values: values),
+                         description="registered by the test-suite")
+        assert main(["list", "--kind", "transform", "--json"]) == 0
+        listed = json.loads(capsys.readouterr().out)
+        assert name in listed["transform"]
+
+    def test_list_covers_every_kind(self, capsys):
+        assert main(["list", "--json"]) == 0
+        listed = json.loads(capsys.readouterr().out)
+        assert set(listed) == set(REGISTRY.KINDS)
+
+    def test_attack_kind_typo_is_helpful(self, tmp_path, capsys):
+        stream = tmp_path / "s.csv"
+        stream.write_text("0.1\n0.2\n0.1\n")
+        code = main(["attack", str(stream), str(tmp_path / "o.csv"),
+                     "--kind", "epsilom"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "epsilon" in err and "Did you mean" in err
+
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out

@@ -1,0 +1,197 @@
+"""Session checkpoint state: round-trips, counters, buckets, error paths."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import DetectionSession, ProtectionSession, WatermarkParams
+from repro.core.encoding_factory import build_encoding
+from repro.core.quality import QualityMonitor
+from repro.core.quantize import Quantizer
+from repro.core.serialize import params_from_dict, params_to_dict
+from repro.errors import ParameterError, SessionStateError
+from repro.streams.window import SlidingWindow
+from repro.util.hashing import KeyedHasher
+from tests.conftest import KEY
+
+
+def json_roundtrip(state: dict) -> dict:
+    """Force the state through strict-ish JSON text, as a shard would."""
+    return json.loads(json.dumps(state))
+
+
+class TestProtectionSessionState:
+    def test_roundtrip_preserves_counters_and_report(self, small_stream,
+                                                     params):
+        session = ProtectionSession("1", KEY, params=params)
+        session.feed(small_stream)
+        state = json_roundtrip(session.to_state())
+        resumed = ProtectionSession.from_state(state, KEY)
+        assert resumed.items_ingested == session.items_ingested
+        assert resumed.report.counters.to_dict() \
+            == session.report.counters.to_dict()
+        assert resumed.report.embedded == session.report.embedded
+        assert resumed.report.altered_items == session.report.altered_items
+        assert resumed.watermark_bits == session.watermark_bits
+
+    def test_resumed_report_counters_stay_live(self, small_stream, params):
+        """After restore, the report and the scanner share one counters
+        object, so further feeding updates both."""
+        session = ProtectionSession("1", KEY, params=params)
+        session.feed(small_stream[:1500])
+        resumed = ProtectionSession.from_state(
+            json_roundtrip(session.to_state()), KEY)
+        before = resumed.report.counters.items
+        resumed.feed(small_stream[1500:])
+        assert resumed.report.counters.items == before + 1500
+        assert resumed.items_ingested == resumed.report.counters.items
+
+    def test_state_excludes_the_key(self, small_stream, params):
+        session = ProtectionSession("1", KEY, params=params)
+        session.feed(small_stream[:500])
+        assert KEY.decode() not in json.dumps(session.to_state())
+
+    def test_monitor_sessions_refuse_checkpoint(self, params):
+        session = ProtectionSession("1", KEY, params=params,
+                                    monitor=QualityMonitor())
+        with pytest.raises(SessionStateError, match="QualityMonitor"):
+            session.to_state()
+
+    def test_strategy_object_sessions_refuse_checkpoint(self, params):
+        strategy = build_encoding(
+            "initial", params,
+            Quantizer(params.value_bits, params.avg_extra_bits),
+            KeyedHasher(KEY))
+        session = ProtectionSession("1", KEY, params=params,
+                                    encoding=strategy)
+        with pytest.raises(SessionStateError, match="strategy"):
+            session.to_state()
+
+    def test_wrong_kind_rejected(self, params):
+        session = DetectionSession(1, KEY, params=params)
+        with pytest.raises(SessionStateError, match="kind"):
+            ProtectionSession.from_state(session.to_state(), KEY)
+
+    def test_newer_version_rejected(self, params):
+        session = ProtectionSession("1", KEY, params=params)
+        state = session.to_state()
+        state["format_version"] = 999
+        with pytest.raises(SessionStateError, match="newer"):
+            ProtectionSession.from_state(state, KEY)
+
+    def test_feed_after_finish_rejected(self, params):
+        session = ProtectionSession("1", KEY, params=params)
+        session.finish()
+        with pytest.raises(ParameterError, match="finished"):
+            session.feed([0.1, 0.2])
+
+    def test_finished_flag_survives_checkpoint(self, params):
+        """A checkpoint of a finished session resumes as finished."""
+        session = ProtectionSession("1", KEY, params=params)
+        session.feed([0.1, 0.2, 0.1])
+        session.finish()
+        resumed = ProtectionSession.from_state(
+            json_roundtrip(session.to_state()), KEY)
+        with pytest.raises(ParameterError, match="finished"):
+            resumed.feed([0.3])
+
+    def test_missing_format_version_rejected(self, params):
+        session = ProtectionSession("1", KEY, params=params)
+        state = session.to_state()
+        del state["format_version"]
+        with pytest.raises(SessionStateError, match="format_version"):
+            ProtectionSession.from_state(state, KEY)
+
+
+class TestDetectionSessionState:
+    def test_roundtrip_preserves_voting_buckets(self, marked_reference,
+                                                params):
+        marked, _ = marked_reference
+        session = DetectionSession(1, KEY, params=params)
+        session.feed(marked[:5000])
+        mid = session.result()
+        resumed = DetectionSession.from_state(
+            json_roundtrip(session.to_state()), KEY)
+        restored = resumed.result()
+        assert restored.buckets_true == mid.buckets_true
+        assert restored.buckets_false == mid.buckets_false
+        assert restored.abstentions == mid.abstentions
+        assert restored.counters.to_dict() == mid.counters.to_dict()
+
+    def test_roundtrip_preserves_transform_degree(self, params):
+        session = DetectionSession(1, KEY, params=params,
+                                   transform_degree=3.0)
+        resumed = DetectionSession.from_state(
+            json_roundtrip(session.to_state()), KEY)
+        assert resumed._transform_degree == 3.0
+
+    def test_window_capacity_mismatch_rejected(self, params):
+        session = DetectionSession(1, KEY, params=params)
+        state = session.to_state()
+        state["config"]["params"]["window_size"] = params.window_size * 2
+        with pytest.raises(ParameterError, match="window"):
+            DetectionSession.from_state(state, KEY)
+
+    def test_bucket_length_mismatch_rejected(self, params):
+        session = DetectionSession(1, KEY, params=params)
+        state = session.to_state()
+        state["votes"]["buckets_true"] = [0, 0]
+        with pytest.raises(ParameterError, match="buckets"):
+            DetectionSession.from_state(state, KEY)
+
+
+class TestScannerLevelRestore:
+    def test_embedder_restore_reties_report_counters(self, small_stream,
+                                                     params):
+        """Restoring scan state directly on a StreamWatermarker must keep
+        report.counters aliased to the live scanner counters."""
+        from repro import StreamWatermarker
+
+        source = StreamWatermarker("1", KEY, params=params)
+        source.process(small_stream[:1500])
+        target = StreamWatermarker("1", KEY, params=params)
+        target.restore_scan_state(json_roundtrip(source.scan_state()))
+        assert target.report.counters is target.counters
+        target.process(small_stream[1500:])
+        assert target.report.counters.items == len(small_stream)
+
+
+class TestStateBuildingBlocks:
+    def test_sliding_window_roundtrip(self):
+        window = SlidingWindow(4)
+        for value in (0.1, 0.2, 0.3, 0.4, 0.5, 0.6):
+            window.push(value)
+        clone = SlidingWindow.from_state(
+            json_roundtrip(window.to_state()))
+        assert clone.capacity == window.capacity
+        assert clone.start_index == window.start_index
+        assert np.array_equal(clone.values(), window.values())
+
+    def test_sliding_window_overfull_state_rejected(self):
+        state = {"capacity": 2, "start_index": 0, "items": [0.1, 0.2, 0.3]}
+        from repro.errors import StreamError
+
+        with pytest.raises(StreamError, match="capacity"):
+            SlidingWindow.from_state(state)
+
+    def test_zigzag_state_roundtrip_with_infinities(self):
+        from repro.core.extremes import ZigzagState
+
+        fresh = ZigzagState.fresh()
+        clone = ZigzagState.from_state(json_roundtrip(fresh.to_state()))
+        assert clone == fresh
+        assert clone.max_value == float("-inf")
+        assert clone.min_value == float("inf")
+
+    def test_params_dict_roundtrip(self, params):
+        assert params_from_dict(json_roundtrip(params_to_dict(params))) \
+            == params
+
+    def test_params_unknown_field_rejected(self, params):
+        data = params_to_dict(params)
+        data["from_the_future"] = 1
+        with pytest.raises(ParameterError, match="from_the_future"):
+            params_from_dict(data)
