@@ -187,7 +187,9 @@ class StreamDetector(StreamScanner):
     def _handle_selected(self, extreme: Extreme, window_values: np.ndarray,
                          local: int, start: int, end: int, label: int,
                          bit_index: int) -> float:
-        subset = np.asarray(window_values[start:end + 1], dtype=np.float64)
+        # window_values is already a contiguous float64 view; the
+        # encoding only reads it, so no defensive copy is needed.
+        subset = window_values[start:end + 1]
         vote = self._encoding.detect(subset, local - start, label)
         decision = vote.decision
         if decision is True:

@@ -143,6 +143,11 @@ class StreamWatermarker(StreamScanner):
         if self._monitor is not None:
             self._monitor.admit(value)
 
+    def _admit_chunk(self, values: np.ndarray) -> None:
+        if self._monitor is not None:
+            for value in values.tolist():
+                self._monitor.admit(value)
+
     def _handle_selected(self, extreme: Extreme, window_values: np.ndarray,
                          local: int, start: int, end: int, label: int,
                          bit_index: int) -> float:
@@ -150,38 +155,49 @@ class StreamWatermarker(StreamScanner):
                                               start, end)
         bit = self._wm_bits[bit_index]
         subset = window_values[start:end + 1]
-        q_subset = [self._quantizer.quantize(float(v)) for v in subset]
+        subset_values = subset.tolist()
+        # Scalar quantization beats the array path here: subsets are a
+        # dozen items, below the size where ufunc dispatch pays off.
+        q_subset = self._quantizer.quantize_list(subset_values)
         try:
             outcome = self._encoding.embed(q_subset, local - start, label, bit)
         except EncodingSearchExhausted:
             self.report.search_failures += 1
             return pre_reference
-        self.report.total_search_iterations += outcome.iterations
+        report = self.report
+        report.total_search_iterations += outcome.iterations
 
-        new_floats = self._quantizer.dequantize_array(outcome.q_values)
-        alterations: list[Alteration] = []
-        for offset, (old_q, new_q) in enumerate(zip(q_subset,
-                                                    outcome.q_values)):
-            if old_q != new_q:
-                alterations.append(Alteration(
-                    index=extreme.subset_start + offset,
-                    old=float(subset[offset]),
-                    new=float(new_floats[offset])))
-        if not alterations:
-            self.report.embedded += 1
+        changed = [offset for offset, (old_q, new_q)
+                   in enumerate(zip(q_subset, outcome.q_values))
+                   if old_q != new_q]
+        if not changed:
+            report.embedded += 1
             return pre_reference
-        if self._monitor is not None and not self._monitor.propose(alterations):
-            self.report.quality_rollbacks += 1
-            return pre_reference
-        for alteration in alterations:
-            window_offset = alteration.index - self._window.start_index
-            self._window.replace(window_offset, alteration.new)
-            self.report.altered_items += 1
-            change = abs(alteration.change)
-            self.report.sum_abs_alteration += change
-            self.report.max_abs_alteration = max(
-                self.report.max_abs_alteration, change)
-        self.report.embedded += 1
+        dequantize = self._quantizer.dequantize
+        if self._monitor is not None:
+            alterations = [Alteration(index=extreme.subset_start + offset,
+                                      old=subset_values[offset],
+                                      new=dequantize(outcome.q_values[offset]))
+                           for offset in changed]
+            if not self._monitor.propose(alterations):
+                report.quality_rollbacks += 1
+                return pre_reference
+            rewrites = [(a.index - extreme.subset_start, a.new)
+                        for a in alterations]
+        else:
+            rewrites = [(offset, dequantize(outcome.q_values[offset]))
+                        for offset in changed]
+        for offset, new_value in rewrites:
+            # `subset` is a live view into the window buffer, so this is
+            # window.replace() at offset start+offset without per-item
+            # bounds rechecks (the slice already established them).
+            subset[offset] = new_value
+            change = abs(new_value - subset_values[offset])
+            report.sum_abs_alteration += change
+            if change > report.max_abs_alteration:
+                report.max_abs_alteration = change
+        report.altered_items += len(rewrites)
+        report.embedded += 1
         # Re-derive the reference from the committed (post-encoding)
         # window state: this is exactly what the detector will compute.
         post_window = self._window.values()

@@ -99,8 +99,17 @@ class InitialEncoding:
             )
         extreme_value = self._quantizer.dequantize(q_subset[extreme_offset])
         position = self._position(extreme_value, label)
-        new_values = [bitops.apply_guarded_bit(q, position, bit)
-                      for q in q_subset]
+        if position < 1:
+            raise ParameterError(
+                f"guarded bit position must be >= 1 to fit the low guard, "
+                f"got {position}"
+            )
+        # Fused form of bitops.apply_guarded_bit: clear both guards and
+        # the payload position in one mask, then set the payload bit.
+        clear = ~((1 << (position - 1)) | (1 << position)
+                  | (1 << (position + 1)))
+        payload = int(bool(bit)) << position
+        new_values = [(q & clear) | payload for q in q_subset]
         return EmbedOutcome(q_values=new_values, iterations=len(q_subset))
 
     def detect(self, float_subset: np.ndarray, extreme_offset: int,

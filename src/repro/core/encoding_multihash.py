@@ -121,11 +121,34 @@ class MultihashEncoding:
         self._method = method
         self._rng = make_rng(rng)
         self.last_stats: "MultihashStats | None" = None
+        # Hot-path machinery: a digest context pre-fed with the leading
+        # key (copy() per probe beats re-hashing the prefix), plus a
+        # bounded memo over (avg_key, label) — the pruned search re-tests
+        # the same short-run averages across backtracking candidates, and
+        # detection re-keys every average of overlapping active runs.
+        base = hashlib.new(self._algorithm)
+        base.update(self._key)
+        self._base_context = base
+        self._omega_mask = (1 << params.omega) - 1
+        self._pattern_memo: "dict[tuple[int, int], int]" = {}
 
     # ------------------------------------------------------------------
+    _PATTERN_MEMO_LIMIT = 1 << 16
+
     def _pattern(self, avg_key: int, label: int) -> int:
-        return convention_pattern(self._key, avg_key, label,
-                                  self._params.omega, self._algorithm)
+        probe = (avg_key, label)
+        memo = self._pattern_memo
+        pattern = memo.get(probe)
+        if pattern is None:
+            digest_context = self._base_context.copy()
+            digest_context.update(avg_key.to_bytes(8, "big")
+                                  + label.to_bytes(8, "big") + self._key)
+            digest = digest_context.digest()
+            pattern = int.from_bytes(digest[-3:], "big") & self._omega_mask
+            if len(memo) >= self._PATTERN_MEMO_LIMIT:
+                memo.clear()
+            memo[probe] = pattern
+        return pattern
 
     def _target(self, bit: bool) -> int:
         return (1 << self._params.omega) - 1 if bit else 0

@@ -157,37 +157,17 @@ class ZigzagState:
             origin=None if state["origin"] is None else int(state["origin"]))
 
 
-def zigzag_pivots(values: np.ndarray, prominence: float,
-                  state: "ZigzagState | None" = None,
-                  offset: int = 0) -> tuple[list[tuple[int, int]], ZigzagState]:
-    """Confirmed alternating pivots of ``values``.
+def _zigzag_machine(indices, values, prominence: float, st: ZigzagState,
+                    pivots: "list[tuple[int, int]]") -> None:
+    """The prominence-gated zigzag state machine over (index, value) pairs.
 
-    Parameters
-    ----------
-    values:
-        The scan range (e.g. the current window contents).
-    prominence:
-        Minimum counter-move that confirms a pivot.
-    state:
-        Resumable scan state; ``None`` starts a fresh scan.
-    offset:
-        Absolute index of ``values[0]`` (pivot indices are absolute).
-
-    Returns
-    -------
-    (pivots, state):
-        ``pivots`` — list of ``(absolute_index, kind)`` confirmed within
-        this range; ``state`` — continuation state for the next range.
+    ``indices`` are absolute stream positions; the machine mutates ``st``
+    and appends confirmed pivots.  This is the seed's per-item scan body,
+    factored out so the vectorized :func:`zigzag_pivots` can drive it
+    over the reduced candidate sequence and :func:`zigzag_pivots_scalar`
+    over every item.
     """
-    if prominence <= 0:
-        raise ParameterError(f"prominence must be positive, got {prominence}")
-    st = state if state is not None else ZigzagState.fresh()
-    if st.origin is None:
-        st.origin = offset
-    pivots: list[tuple[int, int]] = []
-    for local_i, v in enumerate(values):
-        i = offset + local_i
-        v = float(v)
+    for i, v in zip(indices, values):
         if st.trend == 0:
             if v > st.max_value:
                 st.max_index, st.max_value = i, v
@@ -217,6 +197,101 @@ def zigzag_pivots(values: np.ndarray, prominence: float,
                 pivots.append((st.min_index, MINIMUM))
                 st.trend = MAXIMUM
                 st.max_index, st.max_value = i, v
+
+
+def _prepare_scan(prominence: float, state: "ZigzagState | None",
+                  offset: int) -> ZigzagState:
+    if prominence <= 0:
+        raise ParameterError(f"prominence must be positive, got {prominence}")
+    st = state if state is not None else ZigzagState.fresh()
+    if st.origin is None:
+        st.origin = offset
+    return st
+
+
+def zigzag_pivots_scalar(values, prominence: float,
+                         state: "ZigzagState | None" = None,
+                         offset: int = 0
+                         ) -> tuple[list[tuple[int, int]], ZigzagState]:
+    """Per-item reference scan — the seed implementation, kept verbatim.
+
+    :func:`zigzag_pivots` is property-tested to be bit-identical to this
+    on random, noisy and plateau streams, including chunked continuation.
+    """
+    st = _prepare_scan(prominence, state, offset)
+    pivots: list[tuple[int, int]] = []
+    arr = np.asarray(values, dtype=np.float64).ravel()
+    _zigzag_machine(range(offset, offset + arr.size), arr.tolist(),
+                    prominence, st, pivots)
+    return pivots, st
+
+
+def zigzag_pivots(values: np.ndarray, prominence: float,
+                  state: "ZigzagState | None" = None,
+                  offset: int = 0) -> tuple[list[tuple[int, int]], ZigzagState]:
+    """Confirmed alternating pivots of ``values``.
+
+    Parameters
+    ----------
+    values:
+        The scan range (e.g. the current window contents).
+    prominence:
+        Minimum counter-move that confirms a pivot.
+    state:
+        Resumable scan state; ``None`` starts a fresh scan.
+    offset:
+        Absolute index of ``values[0]`` (pivot indices are absolute).
+
+    Returns
+    -------
+    (pivots, state):
+        ``pivots`` — list of ``(absolute_index, kind)`` confirmed within
+        this range; ``state`` — continuation state for the next range.
+
+    Notes
+    -----
+    The scan is vectorized by *candidate reduction*: the state machine's
+    transitions (candidate updates use strict comparisons, confirmations
+    compare against running extremes) can only take effect at monotone-run
+    boundaries — the first occurrence of each run's terminal value — plus
+    the range's first item (where a carried-in extreme may confirm
+    immediately).  Those candidates are extracted with array ops and the
+    exact per-item machine (:func:`zigzag_pivots_scalar`'s body) runs
+    over the reduced sequence, producing bit-identical pivots *and*
+    continuation state.
+    """
+    st = _prepare_scan(prominence, state, offset)
+    pivots: list[tuple[int, int]] = []
+    arr = np.asarray(values, dtype=np.float64).ravel()
+    n = arr.size
+    if n == 0:
+        return pivots, st
+    if n <= 32:
+        _zigzag_machine(range(offset, offset + n), arr.tolist(),
+                        prominence, st, pivots)
+        return pivots, st
+    moves = np.nonzero(np.diff(arr))[0]
+    if moves.size == 0:
+        candidates = np.asarray([0])
+    else:
+        rising = arr[moves + 1] > arr[moves]
+        turns = np.nonzero(rising[:-1] != rising[1:])[0]
+        # Run vertices are first occurrences of each run's extremum; the
+        # final movement's endpoint covers the (possibly partial) last
+        # run.  Trailing-plateau items past it are no-ops: strict
+        # comparisons skip them and any confirmation they could make was
+        # already made at the first occurrence of their value.  The
+        # concatenation is already strictly increasing: vertices are
+        # >= 1, and the last movement's endpoint exceeds every turn
+        # vertex (turns index into movements before the last one).
+        candidates = np.concatenate(
+            ([0], moves[turns] + 1, [moves[-1] + 1]))
+    if offset:
+        indices = (candidates + offset).tolist()
+    else:
+        indices = candidates.tolist()
+    _zigzag_machine(indices, arr[candidates].tolist(), prominence, st,
+                    pivots)
     return pivots, st
 
 
@@ -230,16 +305,53 @@ def characteristic_subset(values: np.ndarray, index: int,
     """
     if delta <= 0:
         raise ParameterError(f"delta must be positive, got {delta}")
-    n = len(values)
+    values = np.asarray(values, dtype=np.float64)
+    n = values.size
     if not 0 <= index < n:
         raise ParameterError(f"extreme index {index} outside array of {n}")
-    center = float(values[index])
-    start = index
-    while start > 0 and abs(float(values[start - 1]) - center) < delta:
-        start -= 1
-    end = index
-    while end < n - 1 and abs(float(values[end + 1]) - center) < delta:
-        end += 1
+    # Typical subsets are a dozen items wide: one boxing of a small
+    # probe around the extreme plus a Python-float scan beats both the
+    # seed's per-element array indexing and full-block ufunc dispatch.
+    # Comparisons are the same IEEE doubles either way (``tolist``
+    # round-trips float64 exactly), so the bounds are bit-identical.
+    # Fat subsets fall through to vectorized block scans.
+    probe = 16
+    lo = max(0, index - probe)
+    hi = min(n, index + 1 + probe)
+    vals = values[lo:hi].tolist()
+    center = vals[index - lo]
+    local = index - lo
+    while local > 0 and abs(vals[local - 1] - center) < delta:
+        local -= 1
+    start = lo + local
+    if local == 0 and lo > 0:
+        # The probe's left edge is still within delta: continue in
+        # vectorized blocks.
+        block = 64
+        while start > 0:
+            block_lo = max(0, start - block)
+            bad = (np.abs(values[block_lo:start] - center)
+                   >= delta).nonzero()[0]
+            if bad.size:
+                start = block_lo + int(bad[-1]) + 1
+                break
+            start = block_lo
+    local = index - lo
+    limit = len(vals) - 1
+    while local < limit and abs(vals[local + 1] - center) < delta:
+        local += 1
+    end = lo + local
+    if local == limit and hi < n:
+        block = 64
+        last = n - 1
+        while end < last:
+            block_hi = min(n, end + 1 + block)
+            bad = (np.abs(values[end + 1:block_hi] - center)
+                   >= delta).nonzero()[0]
+            if bad.size:
+                end += int(bad[0])
+                break
+            end = block_hi - 1
     return start, end
 
 

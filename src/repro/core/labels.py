@@ -79,6 +79,19 @@ class StreamingLabeler:
         self._msb_bits = msb_bits
         self._needed = skip * (lambda_bits - 1) + 1
         self._values: deque[float] = deque(maxlen=self._needed)
+        # Labels are maintained incrementally: the chain of extremes
+        # ``%`` apart partitions pushes into ``%`` interleaved parity
+        # classes, and each new push appends exactly one comparison bit
+        # (msb(|previous of same parity|, β) < msb(|current|, β)) to its
+        # class's rolling register.  A label is then the leading "1"
+        # over the register's low λ-1 bits — O(1) int ops per extreme
+        # instead of re-deriving 2(λ-1) quantizations per label, which
+        # dominated the seed's scanning hot path.
+        self._label_mask = (1 << (lambda_bits - 1)) - 1
+        self._label_lead = 1 << (lambda_bits - 1)
+        self._pushes = 0
+        self._last_msb: "list[int | None]" = [None] * skip
+        self._registers: "list[int]" = [0] * skip
 
     @property
     def warmup_remaining(self) -> int:
@@ -87,13 +100,22 @@ class StreamingLabeler:
 
     def push(self, extreme_value: float) -> "int | None":
         """Record one extreme value; return its label or ``None``."""
+        parity = self._pushes % self._skip
+        msb = self._quantizer.abs_msb(extreme_value, self._msb_bits)
+        last = self._last_msb[parity]
+        if last is not None:
+            self._registers[parity] = \
+                ((self._registers[parity] << 1) | (last < msb)) \
+                & self._label_mask
+        self._last_msb[parity] = msb
+        self._pushes += 1
         self._values.append(float(extreme_value))
         if len(self._values) < self._needed:
             return None
-        # history: values at distances %(λ-1), ..., %, 0 behind current.
-        chain = [self._values[-1 - self._skip * k]
-                 for k in range(self._lambda - 1, -1, -1)]
-        return label_from_history(chain, self._quantizer, self._msb_bits)
+        # label: leading "1" over the last λ-1 chain comparisons of the
+        # current parity class — the values at distances %(λ-1), ..., %
+        # and 0 behind (and including) the current extreme.
+        return self._label_lead | self._registers[parity]
 
     def preview(self, extreme_value: float) -> "int | None":
         """Label this value *would* get, without committing it.
@@ -104,15 +126,18 @@ class StreamingLabeler:
         """
         if len(self._values) + 1 < self._needed:
             return None
-        hypothetical = list(self._values)[-(self._needed - 1):]
-        hypothetical.append(float(extreme_value))
-        chain = [hypothetical[-1 - self._skip * k]
-                 for k in range(self._lambda - 1, -1, -1)]
-        return label_from_history(chain, self._quantizer, self._msb_bits)
+        parity = self._pushes % self._skip
+        msb = self._quantizer.abs_msb(extreme_value, self._msb_bits)
+        register = ((self._registers[parity] << 1)
+                    | (self._last_msb[parity] < msb)) & self._label_mask
+        return self._label_lead | register
 
     def reset(self) -> None:
         """Forget all history (e.g. when detection restarts on a segment)."""
         self._values.clear()
+        self._pushes = 0
+        self._last_msb = [None] * self._skip
+        self._registers = [0] * self._skip
 
     # ------------------------------------------------------------------
     # checkpoint / resume
@@ -122,10 +147,17 @@ class StreamingLabeler:
         return [float(v) for v in self._values]
 
     def restore(self, values) -> None:
-        """Replace the history with a checkpointed :meth:`history` list."""
-        self._values.clear()
+        """Replace the history with a checkpointed :meth:`history` list.
+
+        The parity registers are rebuilt by replaying the raw values, so
+        the checkpoint format stays plain floats.  Chain pairings are
+        relative (``%`` positions apart in push order), so replaying only
+        the retained window of values reproduces the seed's behaviour
+        exactly.
+        """
+        self.reset()
         for value in values:
-            self._values.append(float(value))
+            self.push(value)
 
 
 def labels_for_extreme_values(extreme_values, lambda_bits: int, skip: int,

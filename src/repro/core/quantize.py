@@ -28,10 +28,11 @@ the embedding search can steer every constrained average.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro.errors import ParameterError
-from repro.util import bitops
 from repro.util.validation import as_float_array
 
 
@@ -72,9 +73,27 @@ class Quantizer:
 
     # ------------------------------------------------------------------
     def quantize(self, value: float) -> int:
-        """Map one normalized value to its b-bit cell index."""
-        q = int(np.floor((float(value) + 0.5) * self._scale))
+        """Map one normalized value to its b-bit cell index.
+
+        ``math.floor`` computes the exact same floor as ``np.floor`` on
+        any finite double, without ufunc dispatch — this sits on the
+        labeling/selection hot path.
+        """
+        q = math.floor((float(value) + 0.5) * self._scale)
         return min(max(q, 0), self._max_q)
+
+    def quantize_list(self, values: "list[float]") -> "list[int]":
+        """:meth:`quantize` over a list of Python floats.
+
+        For the dozen-item characteristic subsets of the embedding hot
+        path this beats :meth:`quantize_array`, whose ufunc dispatch
+        only pays off on larger inputs.
+        """
+        floor = math.floor
+        scale = self._scale
+        max_q = self._max_q
+        return [min(max(floor((v + 0.5) * scale), 0), max_q)
+                for v in values]
 
     def quantize_array(self, values) -> np.ndarray:
         """Vectorized :meth:`quantize` (returns int64 array)."""
@@ -103,16 +122,39 @@ class Quantizer:
 
     # ------------------------------------------------------------------
     def msb(self, value: float, n_bits: int) -> int:
-        """``msb(x, n)`` of the quantized value — the selection input."""
-        return bitops.msb(self.quantize(value), n_bits, self._bits)
+        """``msb(x, n)`` of the quantized value — the selection input.
+
+        Fused like :meth:`abs_msb` (the clamp already guarantees
+        ``bitops.msb``'s width invariant); runs per selection probe.
+        """
+        if n_bits <= 0:
+            raise ParameterError(
+                f"msb bit count must be positive, got {n_bits}"
+            )
+        q = math.floor((float(value) + 0.5) * self._scale)
+        q = min(max(q, 0), self._max_q)
+        if n_bits >= self._bits:
+            return q
+        return q >> (self._bits - n_bits)
 
     def abs_msb(self, value: float, n_bits: int) -> int:
         """``msb(abs(x), n)`` — the label-comparison input (Sec 4.1).
 
         Quantizing ``|v|`` through the same map keeps the comparison
         monotone in ``|v|``, which is all the labeling scheme needs.
+        The quantize/shift chain is fused inline (the clamp guarantees
+        the width invariant ``bitops.msb`` would re-check): this runs
+        once per major extreme on the labeling hot path.
         """
-        return bitops.msb(self.quantize(abs(float(value))), n_bits, self._bits)
+        if n_bits <= 0:
+            raise ParameterError(
+                f"msb bit count must be positive, got {n_bits}"
+            )
+        q = math.floor((abs(float(value)) + 0.5) * self._scale)
+        q = min(max(q, 0), self._max_q)
+        if n_bits >= self._bits:
+            return q
+        return q >> (self._bits - n_bits)
 
     # ------------------------------------------------------------------
     def average_key(self, values) -> int:
@@ -125,15 +167,24 @@ class Quantizer:
         bit-identical on both sides, so the keys agree exactly.
         """
         array = np.asarray(values, dtype=np.float64)
-        if array.size == 0:
+        n = array.size
+        if n == 0:
             raise ParameterError("average_key of an empty range")
-        mean = float(np.mean(array))
-        key = int(np.floor((mean + 0.5) * self._avg_scale))
+        if n < 8:
+            # numpy's pairwise summation degenerates to a plain
+            # left-to-right sum below 8 elements, so a Python sum over
+            # the same doubles is bit-identical — and an order of
+            # magnitude cheaper for the short sub-ranges the multi-hash
+            # search probes.
+            mean = sum(array.tolist()) / n
+        else:
+            mean = float(np.mean(array))
+        key = math.floor((mean + 0.5) * self._avg_scale)
         upper = (1 << self.avg_key_bits) - 1
         return min(max(key, 0), upper)
 
     def average_key_scalar(self, value: float) -> int:
         """Average key of a single received item (degenerate sub-range)."""
-        key = int(np.floor((float(value) + 0.5) * self._avg_scale))
+        key = math.floor((float(value) + 0.5) * self._avg_scale)
         upper = (1 << self.avg_key_bits) - 1
         return min(max(key, 0), upper)

@@ -74,8 +74,13 @@ class ScanCounters:
 
     @classmethod
     def from_dict(cls, data: dict) -> "ScanCounters":
-        """Rebuild counters from :meth:`to_dict` output."""
-        return cls(**{f.name: int(data[f.name])
+        """Rebuild counters from :meth:`to_dict` output.
+
+        Missing fields default to 0 and unknown fields are ignored, so a
+        checkpoint written before a counter existed (or after one was
+        retired) still restores.
+        """
+        return cls(**{f.name: int(data.get(f.name, 0))
                       for f in dataclasses.fields(cls)})
 
 
@@ -102,6 +107,8 @@ class StreamScanner:
         if self._sigma < 1:
             raise ParameterError(f"effective sigma must be >= 1, got {self._sigma}")
         self._require_labels = require_labels
+        # Fixed-parameter form of Extreme.is_major's threshold test.
+        self._major_threshold = self._sigma * params.majority_relaxation
         self._window = SlidingWindow(params.window_size)
         self._zigzag = ZigzagState.fresh()
         self._pending: deque[tuple[int, int]] = deque()
@@ -123,30 +130,32 @@ class StreamScanner:
         would silently discard unprocessed extremes.
         """
         array = np.asarray(values, dtype=np.float64).ravel()
-        released: list[float] = []
+        released: list[np.ndarray] = []
         batch = max(16, self._params.window_size // 4)
         for batch_start in range(0, array.size, batch):
             sub = array[batch_start:batch_start + batch]
             chunk_start = self._next_index
-            for value in sub:
-                self._admit(float(value))
-                evicted = self._window.push(float(value))
-                if evicted is not None:
-                    released.append(evicted)
-                self._next_index += 1
+            self._admit_chunk(sub)
+            evicted = self._window.push_chunk(sub)
+            if evicted.size:
+                released.append(evicted)
+            self._next_index += sub.size
             self.counters.items += sub.size
             pivots, self._zigzag = zigzag_pivots(
                 sub, self._params.prominence, self._zigzag,
                 offset=chunk_start)
             self._pending.extend(pivots)
-            released.extend(self._drain_pending())
-        return np.asarray(released, dtype=np.float64)
+            if self._pending:
+                released.extend(self._drain_pending())
+        if not released:
+            return np.empty(0, dtype=np.float64)
+        return np.concatenate(released)
 
     def finalize(self) -> np.ndarray:
         """Drain every remaining item at end-of-stream."""
-        released = list(self._drain_pending())
-        released.extend(self._window.flush())
-        return np.asarray(released, dtype=np.float64)
+        released = self._drain_pending()
+        released.append(self._window.flush_array())
+        return np.concatenate(released)
 
     # ------------------------------------------------------------------
     # checkpoint / resume
@@ -246,38 +255,47 @@ class StreamScanner:
             return best_offset
         return None
 
-    def _drain_pending(self) -> list[float]:
-        released: list[float] = []
-        while self._pending:
-            index, kind = self._pending.popleft()
-            if index < self._window.start_index:
+    def _drain_pending(self) -> "list[np.ndarray]":
+        released: "list[np.ndarray]" = []
+        window = self._window
+        counters = self.counters
+        pending = self._pending
+        delta = self._params.delta
+        recenter_enabled = self._params.recenter_extremes
+        sigma = self._sigma
+        # is_major() with fixed (σ, relaxation) is this threshold test;
+        # parameters were validated at construction time.
+        major_threshold = self._major_threshold
+        while pending:
+            index, kind = pending.popleft()
+            start_index = window.start_index
+            if index < start_index:
                 # Confirmed after its data already left the window: the
                 # window is undersized for this stream's eta.
-                self.counters.missed_evictions += 1
+                counters.missed_evictions += 1
                 continue
-            local = index - self._window.start_index
-            window_values = self._window.values()
-            start, end = characteristic_subset(window_values, local,
-                                               self._params.delta)
-            if (self._params.recenter_extremes
-                    and end - start + 1 < self._sigma):
+            local = index - start_index
+            window_values = window.values()
+            start, end = characteristic_subset(window_values, local, delta)
+            if recenter_enabled and end - start + 1 < sigma:
                 recentered = self._recenter(window_values, local,
                                             end - start + 1)
                 if recentered is not None:
                     local = recentered
-                    index = local + self._window.start_index
+                    index = local + start_index
                     start, end = characteristic_subset(window_values, local,
-                                                       self._params.delta)
-            extreme = Extreme(
-                index=index, value=float(window_values[local]), kind=kind,
-                subset_start=start + self._window.start_index,
-                subset_end=end + self._window.start_index)
-            self.counters.extremes_confirmed += 1
-            self.counters.subset_size_sum += extreme.subset_size
-            if extreme.is_major(self._sigma, self._params.majority_relaxation):
-                self.counters.majors += 1
+                                                       delta)
+            size = end - start + 1
+            counters.extremes_confirmed += 1
+            counters.subset_size_sum += size
+            if size >= major_threshold:
+                counters.majors += 1
+                extreme = Extreme(
+                    index=index, value=float(window_values[local]),
+                    kind=kind, subset_start=start + start_index,
+                    subset_end=end + start_index)
                 self._handle_major(extreme, window_values, local, start, end)
-            released.extend(self._window.advance(local + 1))
+            released.append(window.advance_array(local + 1))
         return released
 
     def _reference_value(self, extreme: Extreme,
@@ -295,7 +313,11 @@ class StreamScanner:
         original Sec-4.1 formulation.
         """
         if self._params.robust_extreme_value:
-            return float(np.mean(window_values[start:end + 1]))
+            segment = window_values[start:end + 1]
+            # np.add.reduce(x) / n is exactly np.mean's computation
+            # (pairwise sum, then true-divide) without the wrapper
+            # machinery; this runs once per confirmed extreme.
+            return float(np.add.reduce(segment) / segment.size)
         return extreme.value
 
     def _handle_major(self, extreme: Extreme, window_values: np.ndarray,
@@ -325,6 +347,17 @@ class StreamScanner:
     # ------------------------------------------------------------------
     def _admit(self, value: float) -> None:
         """Called for every incoming item (quality monitor hook)."""
+
+    def _admit_chunk(self, values: np.ndarray) -> None:
+        """Batch form of :meth:`_admit`; base ingestion calls only this.
+
+        The default fans out to :meth:`_admit` per item when a subclass
+        overrides it, and is a no-op otherwise so the vectorized hot
+        path skips per-item Python calls entirely.
+        """
+        if type(self)._admit is not StreamScanner._admit:
+            for value in values.tolist():
+                self._admit(value)
 
     def _handle_selected(self, extreme: Extreme, window_values: np.ndarray,
                          local: int, start: int, end: int, label: int,

@@ -47,7 +47,7 @@ def selection_index(extreme_value: float, params: WatermarkParams,
     criterion.
     """
     msb_value = quantizer.msb(extreme_value, params.msb_bits)
-    return hasher.mod(f"sel:{msb_value}:{label}", params.phi)
+    return hasher.mod_text(f"sel:{msb_value}:{label}", params.phi)
 
 
 def select_watermark_bit(extreme_value: float, wm_length: int,
@@ -73,7 +73,7 @@ def bit_position_from_label(label: int, params: WatermarkParams,
     """
     if label <= 0:
         raise ParameterError(f"label must be a positive int, got {label}")
-    return 1 + hasher.mod(f"pos:{label}", params.payload_positions)
+    return 1 + hasher.mod_text(f"pos:{label}", params.payload_positions)
 
 
 def bit_position_from_value(extreme_value: float, params: WatermarkParams,
@@ -84,4 +84,4 @@ def bit_position_from_value(extreme_value: float, params: WatermarkParams,
     :func:`bit_position_from_label`.
     """
     msb_value = quantizer.msb(extreme_value, params.msb_bits)
-    return 1 + hasher.mod(f"pos:{msb_value}", params.payload_positions)
+    return 1 + hasher.mod_text(f"pos:{msb_value}", params.payload_positions)

@@ -14,16 +14,31 @@ implements the algorithms' "advance the window past ε" step, and
 embedder mutates items *inside* the window before they are evicted, so
 the single-pass constraint holds: once a value leaves the window it is
 never touched again.
+
+Performance architecture
+------------------------
+The window is backed by a preallocated float64 buffer of twice the
+capacity.  Live items always occupy one contiguous run ``[head, head +
+count)``; when the run's tail reaches the end of the buffer, the run is
+compacted back to the front (amortized O(1) per item, and never more
+than one copy of at most ``capacity`` items per ``capacity`` pushes).
+Contiguity is what lets :meth:`values` hand out a **zero-copy view**:
+the scanner's drain loop reads the window once per pending pivot, and
+rebuilding an O(window) array each time used to dominate the hot path.
+Bulk ingestion (:meth:`push_chunk`) and bulk eviction
+(:meth:`advance_array`) move whole chunks with array copies instead of
+per-item Python calls.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from typing import Iterable, Iterator
 
 import numpy as np
 
 from repro.errors import StreamError, WindowOverflowError
+
+_EMPTY = np.empty(0, dtype=np.float64)
 
 
 class SlidingWindow:
@@ -36,10 +51,11 @@ class SlidingWindow:
 
     Notes
     -----
-    Items are stored as Python floats in a deque; the window is the only
-    place where the embedder may rewrite values, via :meth:`replace`.
-    ``start_index`` tracks the absolute stream position of the window's
-    first element so extremes can be reported in stream coordinates.
+    Items are stored in a preallocated float64 ring buffer; the window is
+    the only place where the embedder may rewrite values, via
+    :meth:`replace`.  ``start_index`` tracks the absolute stream position
+    of the window's first element so extremes can be reported in stream
+    coordinates.
     """
 
     def __init__(self, capacity: int) -> None:
@@ -48,7 +64,9 @@ class SlidingWindow:
                 f"window capacity must be at least 2, got {capacity}"
             )
         self._capacity = int(capacity)
-        self._items: deque[float] = deque()
+        self._buffer = np.empty(2 * self._capacity, dtype=np.float64)
+        self._head = 0
+        self._count = 0
         self._start_index = 0
 
     # ------------------------------------------------------------------
@@ -67,25 +85,37 @@ class SlidingWindow:
     @property
     def end_index(self) -> int:
         """Absolute stream index one past the last in-window item."""
-        return self._start_index + len(self._items)
+        return self._start_index + self._count
 
     def __len__(self) -> int:
-        return len(self._items)
+        return self._count
 
     def __iter__(self) -> Iterator[float]:
-        return iter(self._items)
+        return iter(self.values().tolist())
 
     def is_full(self) -> bool:
         """True when a further push must evict."""
-        return len(self._items) >= self._capacity
+        return self._count >= self._capacity
 
     def values(self) -> np.ndarray:
-        """Snapshot of the current window contents as a float array."""
-        return np.asarray(self._items, dtype=np.float64)
+        """The current window contents as a contiguous float64 array.
+
+        This is a **zero-copy view** into the window's backing buffer: it
+        stays valid (and tracks :meth:`replace` mutations) until the next
+        push or compaction.  Callers that need an immutable snapshot
+        across pushes must copy.
+        """
+        return self._buffer[self._head:self._head + self._count]
 
     def __getitem__(self, offset: int) -> float:
         """Read the item ``offset`` positions from the window start."""
-        return self._items[offset]
+        if not -self._count <= offset < self._count:
+            raise IndexError(
+                f"window offset {offset} outside window of {self._count}"
+            )
+        if offset < 0:
+            offset += self._count
+        return float(self._buffer[self._head + offset])
 
     # ------------------------------------------------------------------
     # checkpoint / resume
@@ -100,21 +130,28 @@ class SlidingWindow:
         return {
             "capacity": self._capacity,
             "start_index": self._start_index,
-            "items": [float(v) for v in self._items],
+            "items": self.values().tolist(),
         }
 
     @classmethod
     def from_state(cls, state: dict) -> "SlidingWindow":
         """Rebuild a window from :meth:`to_state` output."""
         window = cls(int(state["capacity"]))
-        items = [float(v) for v in state["items"]]
-        if len(items) > window.capacity:
+        items = np.asarray(state["items"], dtype=np.float64).ravel()
+        if items.size > window.capacity:
             raise StreamError(
-                f"window state holds {len(items)} items, capacity is "
+                f"window state holds {items.size} items, capacity is "
                 f"{window.capacity}"
             )
-        window._items.extend(items)
-        window._start_index = int(state["start_index"])
+        start_index = int(state["start_index"])
+        if start_index < 0:
+            raise StreamError(
+                f"window state has negative start_index {start_index}; "
+                "absolute extreme indices would silently corrupt on resume"
+            )
+        window._buffer[:items.size] = items
+        window._count = items.size
+        window._start_index = start_index
         return window
 
     # ------------------------------------------------------------------
@@ -122,11 +159,20 @@ class SlidingWindow:
     # ------------------------------------------------------------------
     def replace(self, offset: int, value: float) -> None:
         """Overwrite the in-window item at ``offset`` (embedder use only)."""
-        if not 0 <= offset < len(self._items):
+        if not 0 <= offset < self._count:
             raise StreamError(
-                f"replace offset {offset} outside window of {len(self._items)}"
+                f"replace offset {offset} outside window of {self._count}"
             )
-        self._items[offset] = float(value)
+        self._buffer[self._head + offset] = float(value)
+
+    def _make_room(self, incoming: int) -> None:
+        """Compact the live run to the buffer front if the tail would
+        overrun.  Disjointness holds because ``count <= capacity`` and the
+        tail only reaches ``2 * capacity`` once ``head >= capacity``."""
+        if self._head + self._count + incoming > self._buffer.size:
+            self._buffer[:self._count] = \
+                self._buffer[self._head:self._head + self._count]
+            self._head = 0
 
     def push(self, value: float) -> "float | None":
         """Admit one new item; return the evicted oldest item if full.
@@ -136,32 +182,74 @@ class SlidingWindow:
         by the caller.
         """
         evicted: "float | None" = None
-        if len(self._items) >= self._capacity:
-            evicted = self._items.popleft()
+        if self._count >= self._capacity:
+            evicted = float(self._buffer[self._head])
+            self._head += 1
+            self._count -= 1
             self._start_index += 1
-        self._items.append(float(value))
+        self._make_room(1)
+        self._buffer[self._head + self._count] = float(value)
+        self._count += 1
+        return evicted
+
+    def push_chunk(self, values: np.ndarray) -> np.ndarray:
+        """Admit a whole chunk; return the evicted items as an array.
+
+        Equivalent to pushing every item in order (evictions interleave
+        with admissions item-by-item, but the evicted sequence and final
+        window contents are identical), executed with bulk copies.
+        """
+        chunk = np.asarray(values, dtype=np.float64).ravel()
+        k = chunk.size
+        if k == 0:
+            return _EMPTY
+        evict_n = max(0, self._count + k - self._capacity)
+        if evict_n == 0:
+            evicted = _EMPTY
+        else:
+            from_window = min(evict_n, self._count)
+            head = self._head
+            evicted = np.empty(evict_n, dtype=np.float64)
+            evicted[:from_window] = self._buffer[head:head + from_window]
+            # When the chunk exceeds the free space plus the whole window,
+            # the leading chunk items pass straight through.
+            evicted[from_window:] = chunk[:evict_n - from_window]
+            self._head = head + from_window
+            self._count -= from_window
+            self._start_index += evict_n
+            chunk = chunk[evict_n - from_window:]
+            k = chunk.size
+        self._make_room(k)
+        tail = self._head + self._count
+        self._buffer[tail:tail + k] = chunk
+        self._count += k
         return evicted
 
     def push_many(self, values: Iterable[float]) -> list[float]:
         """Push a batch; return all evicted items in order."""
-        out: list[float] = []
-        for value in values:
-            evicted = self.push(value)
-            if evicted is not None:
-                out.append(evicted)
-        return out
+        return self.push_chunk(
+            np.fromiter(values, dtype=np.float64)).tolist()
 
     def extend_no_evict(self, values: Iterable[float]) -> None:
-        """Fill the window during warm-up; raises if capacity is exceeded."""
-        for value in values:
-            if len(self._items) >= self._capacity:
-                raise WindowOverflowError(
-                    f"extend_no_evict overflow at capacity {self._capacity}"
-                )
-            self._items.append(float(value))
+        """Fill the window during warm-up; raises if capacity is exceeded.
 
-    def advance(self, n: int) -> list[float]:
-        """Evict (and return) the ``n`` oldest items.
+        Items are admitted up to capacity before the overflow is raised,
+        mirroring an item-by-item fill.
+        """
+        chunk = np.fromiter(values, dtype=np.float64)
+        room = self._capacity - self._count
+        admitted = chunk[:room]
+        self._make_room(admitted.size)
+        tail = self._head + self._count
+        self._buffer[tail:tail + admitted.size] = admitted
+        self._count += admitted.size
+        if chunk.size > room:
+            raise WindowOverflowError(
+                f"extend_no_evict overflow at capacity {self._capacity}"
+            )
+
+    def advance_array(self, n: int) -> np.ndarray:
+        """Evict (and return, as a fresh array) the ``n`` oldest items.
 
         Implements the algorithms' ``advance win[] past ε`` step: after an
         extreme has been processed, everything up to and including it is
@@ -169,11 +257,21 @@ class SlidingWindow:
         """
         if n < 0:
             raise StreamError(f"advance count must be >= 0, got {n}")
-        n = min(n, len(self._items))
-        out = [self._items.popleft() for _ in range(n)]
+        n = min(n, self._count)
+        out = self._buffer[self._head:self._head + n].copy()
+        self._head += n
+        self._count -= n
         self._start_index += n
         return out
 
+    def advance(self, n: int) -> list[float]:
+        """List-returning form of :meth:`advance_array`."""
+        return self.advance_array(n).tolist()
+
+    def flush_array(self) -> np.ndarray:
+        """Evict everything (end-of-stream drain) as a fresh array."""
+        return self.advance_array(self._count)
+
     def flush(self) -> list[float]:
-        """Evict everything (end-of-stream drain)."""
-        return self.advance(len(self._items))
+        """List-returning form of :meth:`flush_array`."""
+        return self.flush_array().tolist()

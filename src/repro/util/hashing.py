@@ -95,6 +95,12 @@ class KeyedHasher:
     The embedder, detector and selection criterion all share a single
     :class:`KeyedHasher` so the key is threaded through the system once.
 
+    A digest context pre-fed with the leading key of the keyed sandwich
+    is kept and ``copy()``-ed per call, so the per-probe cost is one
+    block update instead of a from-scratch ``hashlib.new`` over
+    ``key + value + key`` — the selection criterion hashes once per
+    major extreme, which put context setup on the scanning hot path.
+
     Parameters
     ----------
     key:
@@ -115,16 +121,38 @@ class KeyedHasher:
                 f"choose one of {_SUPPORTED_ALGORITHMS}"
             )
         object.__setattr__(self, "algorithm", algorithm)
+        base = hashlib.new(algorithm)
+        base.update(self.key)
+        object.__setattr__(self, "_base_context", base)
 
     def hash_int(self, value: "int | bytes | str") -> int:
         """Return ``H(value, key)`` as an unbounded integer."""
-        return H(value, self.key, self.algorithm)
+        digest_context = self._base_context.copy()
+        digest_context.update(_coerce_value(value))
+        digest_context.update(self.key)
+        return int.from_bytes(digest_context.digest(), "big")
 
     def mod(self, value: "int | bytes | str", modulus: int) -> int:
         """Return ``H(value, key) mod modulus`` (paper's selection form)."""
         if modulus <= 0:
             raise ParameterError(f"modulus must be positive, got {modulus}")
         return self.hash_int(value) % modulus
+
+    def mod_text(self, text: str, modulus: int) -> int:
+        """:meth:`mod` of a string input, with the coercion inlined.
+
+        Identical digest input to ``mod(text, modulus)`` (length-prefixed
+        UTF-8 between the two key copies); this is the per-major-extreme
+        selection probe, hot enough that the generic dispatch layers
+        show up in profiles.  The modulus is trusted (validated once at
+        parameter construction).
+        """
+        body = text.encode("utf-8")
+        digest_context = self._base_context.copy()
+        digest_context.update(len(body).to_bytes(4, "big"))
+        digest_context.update(body)
+        digest_context.update(self.key)
+        return int.from_bytes(digest_context.digest(), "big") % modulus
 
     def low_bits(self, value: "int | bytes | str", n_bits: int) -> int:
         """Return the ``n_bits`` least significant bits of ``H(value, key)``.

@@ -1,0 +1,106 @@
+"""Acceptance: a checkpoint written by the seed revision still restores.
+
+``tests/fixtures/legacy_checkpoint_v1.json`` holds a real
+:class:`ProtectionSession` checkpoint serialized by the pre-vectorization
+(PR 1) implementation at stream item 2048 — an ingestion-batch boundary —
+together with the sha256 of the seed's full-run watermarked output and
+its detection evidence.  The current implementation must (a) accept the
+old JSON unchanged, (b) continue the scan to a bit-identical stream, and
+(c) emit checkpoints with the same schema, so the formats remain
+interchangeable across revisions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import ProtectionSession, detect_watermark
+from repro.core.scanner import ScanCounters
+from repro.core.serialize import params_from_dict
+from repro.streams import TemperatureSensorGenerator
+
+FIXTURE = (Path(__file__).parent.parent / "fixtures"
+           / "legacy_checkpoint_v1.json")
+
+
+@pytest.fixture(scope="module")
+def fixture() -> dict:
+    with open(FIXTURE) as handle:
+        return json.load(handle)
+
+
+@pytest.fixture(scope="module")
+def stream(fixture) -> np.ndarray:
+    generator = fixture["generator"]
+    return TemperatureSensorGenerator(
+        eta=generator["eta"],
+        seed=generator["seed"]).generate(generator["n"])
+
+
+class TestLegacyCheckpoint:
+    def test_resumes_to_seed_identical_output(self, fixture, stream):
+        key = fixture["key"].encode()
+        chunk = fixture["chunk"]
+        checkpoint_at = fixture["checkpoint_at"]
+        params = params_from_dict(fixture["state"]["config"]["params"])
+
+        fresh = ProtectionSession(fixture["watermark"], key, params=params)
+        pieces = [fresh.feed(stream[i:i + chunk])
+                  for i in range(0, checkpoint_at, chunk)]
+        resumed = ProtectionSession.from_state(fixture["state"], key)
+        pieces += [resumed.feed(stream[i:i + chunk])
+                   for i in range(checkpoint_at, len(stream), chunk)]
+        pieces.append(resumed.finish())
+        marked = np.concatenate(pieces)
+
+        assert hashlib.sha256(marked.tobytes()).hexdigest() \
+            == fixture["marked_sha256"]
+
+        detection = detect_watermark(marked, len(fixture["watermark"]),
+                                     key, params=params)
+        assert [detection.bias(i) for i in range(detection.wm_length)] \
+            == fixture["bias"]
+        assert [detection.votes(i) for i in range(detection.wm_length)] \
+            == fixture["votes"]
+
+    def test_checkpoint_schema_unchanged(self, fixture, stream):
+        """New checkpoints carry exactly the legacy keys and shapes."""
+        key = fixture["key"].encode()
+        params = params_from_dict(fixture["state"]["config"]["params"])
+        session = ProtectionSession(fixture["watermark"], key,
+                                    params=params)
+        session.feed(stream[:fixture["chunk"]])
+        state = session.to_state()
+
+        def shape(node):
+            if isinstance(node, dict):
+                return {k: shape(v) for k, v in sorted(node.items())}
+            if isinstance(node, bool):
+                return "bool"
+            if isinstance(node, (int, float)):
+                return "number"
+            return type(node).__name__
+
+        assert shape(state) == shape(fixture["state"])
+        # and they stay valid plain JSON
+        json.dumps(state)
+
+    def test_counters_tolerate_missing_and_unknown_fields(self, fixture):
+        """Forward/backward counter compatibility (docstring contract)."""
+        recorded = dict(fixture["state"]["scan"]["counters"])
+        removed = recorded.pop("missed_evictions")
+        recorded["counter_from_the_future"] = 7
+        restored = ScanCounters.from_dict(recorded)
+        assert restored.missed_evictions == 0
+        assert restored.items == fixture["state"]["scan"]["counters"]["items"]
+        assert not hasattr(restored, "counter_from_the_future")
+        # a fully-populated dict still round-trips exactly
+        assert ScanCounters.from_dict(
+            fixture["state"]["scan"]["counters"]).to_dict() \
+            == fixture["state"]["scan"]["counters"]
+        assert removed == 0  # the fixture scan missed nothing

@@ -46,6 +46,25 @@ class TestCounters:
         counters = ScanCounters(extremes_confirmed=4, subset_size_sum=40)
         assert counters.average_subset_size == 10.0
 
+    def test_from_dict_defaults_missing_fields_to_zero(self):
+        """Checkpoints written before a counter existed still restore."""
+        restored = ScanCounters.from_dict({"items": 10, "majors": 2})
+        assert restored.items == 10
+        assert restored.majors == 2
+        assert restored.selected == 0
+        assert restored.missed_evictions == 0
+
+    def test_from_dict_ignores_unknown_fields(self):
+        restored = ScanCounters.from_dict(
+            {"items": 3, "retired_counter": 99})
+        assert restored.items == 3
+        assert not hasattr(restored, "retired_counter")
+
+    def test_round_trip(self):
+        counters = ScanCounters(items=7, extremes_confirmed=3, majors=2,
+                                selected=1, subset_size_sum=12)
+        assert ScanCounters.from_dict(counters.to_dict()) == counters
+
 
 class TestScannerBehaviour:
     def test_passthrough_preserves_values(self, stream):

@@ -65,6 +65,43 @@ class TestBasics:
         with pytest.raises(WindowOverflowError):
             w.extend_no_evict([1.0, 2.0, 3.0])
 
+    def test_push_chunk_returns_evictions_in_order(self):
+        w = SlidingWindow(3)
+        assert w.push_chunk([1.0, 2.0]).tolist() == []
+        assert w.push_chunk([3.0, 4.0, 5.0]).tolist() == [1.0, 2.0]
+        assert list(w) == [3.0, 4.0, 5.0]
+
+    def test_push_chunk_larger_than_capacity_passes_through(self):
+        w = SlidingWindow(3)
+        w.push_chunk([1.0, 2.0, 3.0])
+        evicted = w.push_chunk([4.0, 5.0, 6.0, 7.0, 8.0])
+        assert evicted.tolist() == [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert list(w) == [6.0, 7.0, 8.0]
+        assert w.start_index == 5
+
+
+class TestStateRoundTrip:
+    def test_round_trip_preserves_contents(self):
+        w = SlidingWindow(4)
+        w.push_many([1.5, -0.25, 3.0, 4.0, 5.0])
+        restored = SlidingWindow.from_state(w.to_state())
+        assert restored.values().tolist() == w.values().tolist()
+        assert restored.start_index == w.start_index
+        assert restored.capacity == w.capacity
+
+    def test_overfull_state_rejected(self):
+        with pytest.raises(StreamError):
+            SlidingWindow.from_state(
+                {"capacity": 2, "start_index": 0,
+                 "items": [1.0, 2.0, 3.0]})
+
+    def test_negative_start_index_rejected(self):
+        """A corrupt (negative) start_index would silently shift every
+        absolute extreme index on resume; it must be refused."""
+        with pytest.raises(StreamError):
+            SlidingWindow.from_state(
+                {"capacity": 4, "start_index": -3, "items": [1.0]})
+
 
 class TestStreamInvariants:
     @given(st.lists(st.floats(-1, 1, allow_nan=False), min_size=0,
