@@ -1,10 +1,14 @@
-"""Bench: Sec 6.4 — per-item cost of each encoding.
+"""Bench: Sec 6.4 — per-item cost of each encoding, plus the hub soak.
 
 Besides the human-readable table, this bench emits the machine-readable
 ``benchmarks/results/BENCH_throughput.json`` (µs/item and speedup over
-the seed revision's recorded figures) so the performance trajectory is
-tracked from PR 2 on, and asserts the vectorized scan keeps the initial
-encoding at least 5x faster than the seed.
+the seed revision's recorded figures, and the 1,000-stream hub soak's
+µs/item next to the single-session figure) so the performance
+trajectory is tracked from PR 2 on.  It asserts the vectorized scan
+keeps the initial encoding at least 5x faster than the seed, and that
+multiplexing 1,000 concurrent streams through a
+:class:`repro.StreamHub` costs at most 1.5x the per-item price of one
+dedicated session.
 """
 
 from __future__ import annotations
@@ -17,6 +21,7 @@ from repro.experiments.config import bench_scale
 from repro.experiments.throughput import (
     SEED_US_PER_ITEM,
     machine_calibration,
+    run_hub_soak,
     run_throughput,
     throughput_json,
 )
@@ -27,11 +32,24 @@ def test_throughput_overheads(benchmark):
     result = run_once(benchmark, run_throughput, scale)
     report(result)
 
-    payload = throughput_json(result, scale)
+    # Hub soak: 1,000 concurrent small-chunk streams at full scale
+    # (proportionally fewer when the harness shrinks the workload).
+    soak = run_hub_soak(n_streams=max(100, int(1000 * min(scale, 1.0))))
+    print(f"\nhub soak: {soak['n_streams']} streams x "
+          f"{soak['batches_per_stream']} x {soak['chunk']}-item chunks: "
+          f"hub {soak['hub_us_per_item']} us/item vs single "
+          f"{soak['single_session_us_per_item']} us/item "
+          f"(ratio {soak['hub_overhead_ratio']})")
+
+    payload = throughput_json(result, scale, hub_soak=soak)
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     with open(RESULTS_DIR / "BENCH_throughput.json", "w") as handle:
         json.dump(payload, handle, indent=1)
         handle.write("\n")
+
+    # Multiplexing must stay within a small factor of a dedicated
+    # session regardless of machine speed (both sides measured here).
+    assert soak["hub_overhead_ratio"] <= 1.5
 
     rows = {row["configuration"]: row for row in result.rows}
     baseline = rows["read-and-copy"]["seconds"]

@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""A multi-tenant sensor fleet surviving a worker crash.
+
+Twelve sensors — each licensed to a different tenant, each watermarked
+under its **own** secret key — stream interleaved chunks through one
+:class:`repro.StreamHub`.  The hub checkpoints every session to an
+atomic-write directory store and keeps at most eight sessions in
+memory, LRU-evicting idle ones to the store.
+
+Halfway through, the worker process "crashes" (the hub object is
+dropped on the floor; only the store directory survives).  A fresh
+worker calls :meth:`StreamHub.recover`, re-supplies the keys, replays
+each sensor's feed from its checkpointed offset, and finishes the run —
+and every sensor's published stream is **bit-identical** to one from a
+worker that never crashed.  A thirteenth stream runs detection on a
+re-streamed copy, proving voting evidence survives the crash too::
+
+    python examples/sensor_fleet.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+import numpy as np
+
+from repro import StreamHub, WatermarkParams, watermark_stream
+from repro.stores import DirectoryCheckpointStore
+from repro.streams import TemperatureSensorGenerator
+
+N_SENSORS = 12
+N_ITEMS = 6000
+CHUNK = 500
+PARAMS = WatermarkParams(phi=5)
+PAYLOAD = "10"
+
+
+def sensor_key(sensor_id: str) -> bytes:
+    """Per-tenant key material (a real fleet would use a KMS)."""
+    return f"tenant-secret-{sensor_id}".encode()
+
+
+def main() -> None:
+    sensors = {f"sensor-{i:02d}": TemperatureSensorGenerator(
+        eta=60, seed=300 + i).generate(N_ITEMS)
+        for i in range(N_SENSORS)}
+    # round-robin interleaving: how multiplexed traffic actually arrives
+    batches = [(sensor_id, values[start:start + CHUNK])
+               for start in range(0, N_ITEMS, CHUNK)
+               for sensor_id, values in sensors.items()]
+    kill_at = len(batches) // 2
+
+    with tempfile.TemporaryDirectory(prefix="sensor-fleet-") as store_dir:
+        store = DirectoryCheckpointStore(store_dir)
+        hub = StreamHub(store=store, checkpoint_every=1,
+                        max_live_sessions=8)
+        for sensor_id in sensors:
+            hub.protect(sensor_id, PAYLOAD, sensor_key(sensor_id),
+                        params=PARAMS)
+        # a rights-owner side detection stream rides along in the hub
+        suspect, _ = watermark_stream(
+            TemperatureSensorGenerator(eta=60, seed=999).generate(N_ITEMS),
+            PAYLOAD, sensor_key("court"), params=PARAMS)
+        hub.detect("court", len(PAYLOAD), sensor_key("court"),
+                   params=PARAMS)
+        batches += [("court", suspect[s:s + CHUNK])
+                    for s in range(0, N_ITEMS, CHUNK)]
+
+        published = {sensor_id: [] for sensor_id in hub.stream_ids}
+        for sensor_id, out in hub.push_many(batches[:kill_at]):
+            published[sensor_id].append(out)
+        print(f"worker 1: {kill_at} batches multiplexed over "
+              f"{len(hub)} streams, then CRASH "
+              f"(store: {len(store)} durable checkpoints)")
+        del hub  # nothing survives but the store directory
+
+        hub = StreamHub.recover(store, sensor_key, checkpoint_every=1,
+                                max_live_sessions=8)
+        print(f"worker 2: recovered {len(hub)} keyed sessions from "
+              "the store, replaying from per-stream offsets")
+        for sensor_id, chunk in batches[kill_at:]:
+            published[sensor_id].append(hub.push(sensor_id, chunk))
+        tails = hub.finish_all()
+
+        exact = 0
+        for sensor_id, values in sensors.items():
+            reference, _ = watermark_stream(values, PAYLOAD,
+                                            sensor_key(sensor_id),
+                                            params=PARAMS)
+            recovered_stream = np.concatenate(
+                published[sensor_id] + [tails[sensor_id]])
+            exact += np.array_equal(recovered_stream, reference)
+        print(f"verdict: {exact}/{N_SENSORS} sensor streams "
+              "bit-identical to a crash-free run")
+
+        verdict = hub.result("court")
+        estimate = "".join("1" if bit else "0"
+                           for bit in verdict.wm_estimate())
+        print(f"court stream: payload read back as {estimate!r} "
+              f"(bias {verdict.bias(0)}), evidence intact across "
+              "the crash")
+
+        busiest = max(hub.stats().values(),
+                      key=lambda row: row["checkpoints"])
+        print(f"stats sample: {busiest['stream_id']} — "
+              f"{busiest['pushes']} pushes, "
+              f"{busiest['checkpoints']} checkpoints, "
+              f"{busiest['evictions']} evictions, "
+              f"{busiest['restores']} restores")
+
+
+if __name__ == "__main__":
+    main()

@@ -10,9 +10,13 @@ The public API has two layers:
 
 * **Streaming sessions** (production face): push-based
   :class:`ProtectionSession` / :class:`DetectionSession` with
-  checkpoint/resume, composable via :class:`Pipeline`; every pluggable
-  component (encodings, transforms, attacks, generators) resolves by
-  name through the central :data:`REGISTRY`.
+  checkpoint/resume, composable via :class:`Pipeline`; a multi-tenant
+  :class:`StreamHub` routes interleaved traffic across many
+  independently-keyed sessions, checkpointing them through pluggable
+  :class:`CheckpointStore` backends and recovering bit-identically
+  after a crash; every pluggable component (encodings, transforms,
+  attacks, generators) resolves by name through the central
+  :data:`REGISTRY`.
 * **Offline conveniences** (paper-experiment face):
   :func:`watermark_stream`, :func:`detect_watermark` and
   :func:`detect_best` over in-memory arrays — thin wrappers over the
@@ -63,9 +67,11 @@ from repro.core.quality import (
 from repro.core.quantize import Quantizer
 from repro.core.watermark import bits_to_bytes, bits_to_text, to_bits
 from repro.errors import (
+    CheckpointStoreError,
     DetectionError,
     EncodingError,
     EncodingSearchExhausted,
+    HubError,
     NormalizationError,
     ParameterError,
     QualityConstraintViolated,
@@ -74,6 +80,7 @@ from repro.errors import (
     SessionStateError,
     StreamError,
 )
+from repro.hub import StreamHub, StreamStats, store_summary
 from repro.pipeline import (
     DetectionSession,
     FunctionStage,
@@ -81,8 +88,14 @@ from repro.pipeline import (
     Pipeline,
     ProtectionSession,
     TransformStage,
+    session_from_state,
 )
 from repro.registry import REGISTRY, ComponentRegistry
+from repro.stores import (
+    CheckpointStore,
+    DirectoryCheckpointStore,
+    MemoryCheckpointStore,
+)
 from repro.streams.normalize import Normalizer
 from repro.util.hashing import KeyedHasher
 
@@ -116,12 +129,21 @@ __all__ = [
     "ReproError",
     "SessionStateError",
     "StreamError",
+    "CheckpointStoreError",
+    "HubError",
     "DetectionSession",
     "FunctionStage",
     "NormalizeStage",
     "Pipeline",
     "ProtectionSession",
     "TransformStage",
+    "session_from_state",
+    "StreamHub",
+    "StreamStats",
+    "store_summary",
+    "CheckpointStore",
+    "DirectoryCheckpointStore",
+    "MemoryCheckpointStore",
     "REGISTRY",
     "ComponentRegistry",
     "Normalizer",

@@ -8,7 +8,11 @@ A thin, scriptable wrapper over the library for the Fig-1 workflow:
 * ``info``    — stream statistics relevant to parameter tuning
   (measured η(σ, δ), extremes, subset sizes);
 * ``list``    — enumerate every registered component (encodings,
-  transforms, attacks, generators).
+  transforms, attacks, generators);
+* ``hub``     — multi-tenant streaming: ``hub embed`` watermarks many
+  CSV streams through one :class:`repro.hub.StreamHub` with durable
+  checkpoints, ``hub resume`` recovers a crashed run from the store and
+  completes it, ``hub status`` inspects a store's checkpoints.
 
 All component names — encoding choices, attack/transform kinds — resolve
 through the central :class:`repro.registry.ComponentRegistry`; a newly
@@ -117,6 +121,53 @@ def _build_parser() -> argparse.ArgumentParser:
                              help="restrict to one component kind")
     list_parser.add_argument("--json", action="store_true",
                              help="machine-readable output")
+
+    hub = sub.add_parser(
+        "hub", help="multi-tenant streaming hub with durable checkpoints")
+    hub_sub = hub.add_subparsers(dest="hub_command", required=True)
+
+    def add_hub_streams(p: argparse.ArgumentParser) -> None:
+        p.add_argument("store", help="checkpoint store directory")
+        p.add_argument("--stream", action="append", required=True,
+                       metavar="ID=IN.csv=OUT.csv", dest="streams",
+                       help="one stream: id, input CSV, output CSV "
+                            "(repeatable)")
+        p.add_argument("--key", default=os.environ.get("REPRO_KEY"),
+                       help="secret key shared by the listed streams "
+                            "(default: $REPRO_KEY)")
+        p.add_argument("--chunk", type=int, default=500,
+                       help="items per push (default 500)")
+        p.add_argument("--params", metavar="JSON", default=None,
+                       help="WatermarkParams overrides")
+
+    hub_embed = hub_sub.add_parser(
+        "embed", help="watermark many streams, checkpointing to a store")
+    add_hub_streams(hub_embed)
+    hub_embed.add_argument("--watermark", default="1",
+                           help="payload embedded in every stream "
+                                "(default '1')")
+    hub_embed.add_argument("--encoding", default="multihash",
+                           choices=encodings)
+    hub_embed.add_argument("--checkpoint-every", type=int, default=1,
+                           help="checkpoint a stream every N pushes "
+                                "(default 1)")
+    hub_embed.add_argument("--max-live", type=int, default=None,
+                           help="LRU-evict idle sessions beyond this "
+                                "count to the store")
+    hub_embed.add_argument("--stop-after", type=int, default=None,
+                           metavar="BATCHES",
+                           help="stop (simulating a crash) after this "
+                                "many pushes, leaving the store as the "
+                                "only survivor")
+
+    hub_resume = hub_sub.add_parser(
+        "resume", help="recover a crashed hub run from its store and "
+                       "finish it")
+    add_hub_streams(hub_resume)
+
+    hub_status = hub_sub.add_parser(
+        "status", help="inspect a checkpoint store")
+    hub_status.add_argument("store", help="checkpoint store directory")
     return parser
 
 
@@ -247,12 +298,161 @@ def _cmd_list(args) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# hub subcommands
+# ----------------------------------------------------------------------
+def _hub_specs(args) -> "list[tuple[str, str, str]]":
+    """Parse repeated ``--stream ID=IN.csv=OUT.csv`` specs."""
+    specs = []
+    for raw in args.streams:
+        parts = raw.split("=", 2)
+        if len(parts) != 3 or not all(parts):
+            raise ReproError(
+                f"bad --stream spec {raw!r}; expected ID=IN.csv=OUT.csv"
+            )
+        specs.append((parts[0], parts[1], parts[2]))
+    if len({sid for sid, _, _ in specs}) != len(specs):
+        raise ReproError("duplicate stream ids in --stream specs")
+    return specs
+
+
+def _hub_summary(hub, specs, written, stopped_early: bool) -> dict:
+    rows = {}
+    for stream_id, _, out_path in specs:
+        stats = hub.stats(stream_id)
+        rows[stream_id] = {
+            "items_in": stats["items_in"],
+            "items_out": stats["items_out"],
+            "checkpoints": stats["checkpoints"],
+            "finished": stats["finished"],
+            "output": out_path if written[stream_id] else None,
+            "written_items": written[stream_id],
+        }
+    return {"streams": rows, "stopped_early": stopped_early}
+
+
+def _write_hub_outputs(specs, outputs) -> dict:
+    """Write each stream's released items; streams with no output yet
+    (window-delayed or never pushed) get no file, not an empty CSV the
+    IO layer would refuse to read back."""
+    written = {}
+    for stream_id, _, out_path in specs:
+        pieces = [piece for piece in outputs[stream_id] if len(piece)]
+        if pieces:
+            out = np.concatenate(pieces)
+            save_stream_csv(out_path, out)
+            written[stream_id] = len(out)
+        else:
+            written[stream_id] = 0
+    return written
+
+
+def _cmd_hub_embed(args) -> int:
+    from repro.hub import StreamHub
+    from repro.stores import DirectoryCheckpointStore
+
+    specs = _hub_specs(args)
+    key = _require_key(args)
+    params = _params(args)
+    store = DirectoryCheckpointStore(args.store)
+    hub = StreamHub(store=store, checkpoint_every=args.checkpoint_every,
+                    max_live_sessions=args.max_live)
+    inputs = {}
+    for stream_id, in_path, _ in specs:
+        hub.protect(stream_id, args.watermark, key, params=params,
+                    encoding=args.encoding)
+        inputs[stream_id] = load_stream_csv(in_path)
+
+    outputs = {stream_id: [] for stream_id, _, _ in specs}
+    stopped_early = False
+    pushes = 0
+    longest = max(len(values) for values in inputs.values())
+    for start in range(0, longest, args.chunk):
+        for stream_id, _, _ in specs:
+            chunk = inputs[stream_id][start:start + args.chunk]
+            if not len(chunk):
+                continue
+            outputs[stream_id].append(hub.push(stream_id, chunk))
+            pushes += 1
+            if args.stop_after is not None and pushes >= args.stop_after:
+                stopped_early = True
+                break
+        if stopped_early:
+            break
+    if stopped_early:
+        # --stop-after is a *controlled* stop: checkpoint everything so
+        # the store agrees with every item written below — otherwise
+        # pushes made after the last cadence checkpoint would be
+        # replayed by `hub resume` and duplicated in the output.
+        hub.checkpoint_all()
+    else:
+        for stream_id, tail in hub.finish_all().items():
+            outputs[stream_id].append(tail)
+
+    written = _write_hub_outputs(specs, outputs)
+    print(json.dumps(_hub_summary(hub, specs, written, stopped_early),
+                     indent=2))
+    return 0
+
+
+def _cmd_hub_resume(args) -> int:
+    from repro.hub import StreamHub
+    from repro.stores import DirectoryCheckpointStore
+
+    specs = _hub_specs(args)
+    key = _require_key(args)
+    store = DirectoryCheckpointStore(args.store, create=False)
+    hub = StreamHub.recover(store, lambda stream_id: key,
+                            checkpoint_every=1)
+    outputs = {stream_id: [] for stream_id, _, _ in specs}
+    for stream_id, in_path, _ in specs:
+        if stream_id not in hub:
+            raise ReproError(
+                f"store {args.store} holds no checkpoint for stream "
+                f"{stream_id!r}"
+            )
+        values = load_stream_csv(in_path)
+        # items_in is the checkpointed ingest offset: replay the rest.
+        offset = hub.stats(stream_id)["items_in"]
+        for start in range(offset, len(values), args.chunk):
+            outputs[stream_id].append(
+                hub.push(stream_id, values[start:start + args.chunk]))
+        if not hub.stats(stream_id)["finished"]:
+            outputs[stream_id].append(hub.finish(stream_id))
+
+    written = _write_hub_outputs(specs, outputs)
+    print(json.dumps(_hub_summary(hub, specs, written, False), indent=2))
+    return 0
+
+
+def _cmd_hub_status(args) -> int:
+    from repro.hub import store_summary
+    from repro.stores import DirectoryCheckpointStore
+
+    store = DirectoryCheckpointStore(args.store, create=False)
+    print(json.dumps({"store": args.store,
+                      "streams": store_summary(store)}, indent=2))
+    return 0
+
+
+_HUB_COMMANDS = {
+    "embed": _cmd_hub_embed,
+    "resume": _cmd_hub_resume,
+    "status": _cmd_hub_status,
+}
+
+
+def _cmd_hub(args) -> int:
+    return _HUB_COMMANDS[args.hub_command](args)
+
+
 _COMMANDS = {
     "embed": _cmd_embed,
     "detect": _cmd_detect,
     "attack": _cmd_attack,
     "info": _cmd_info,
     "list": _cmd_list,
+    "hub": _cmd_hub,
 }
 
 

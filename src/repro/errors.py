@@ -82,5 +82,25 @@ class SessionStateError(ReproError):
     """
 
 
+class CheckpointStoreError(ReproError):
+    """A checkpoint store operation failed or its payload is invalid.
+
+    Raised by :mod:`repro.stores` backends on missing stream ids,
+    unreadable/corrupt entries (truncated JSON, wrong envelope kind,
+    newer format versions) and states that cannot be serialized — a
+    corrupt checkpoint must fail loudly, never restore half a session.
+    """
+
+
+class HubError(ReproError):
+    """A :class:`repro.hub.StreamHub` was driven incorrectly.
+
+    Raised on routing errors (unknown or duplicate stream ids — the
+    message carries a did-you-mean suggestion), on recovery without the
+    stream's key, and on reading detection evidence from a protection
+    stream.
+    """
+
+
 class KeyError_(ReproError, ValueError):
     """A secret key is malformed (empty, wrong type, or too short)."""

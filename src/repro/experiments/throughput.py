@@ -195,7 +195,8 @@ def run_throughput(scale: float = 1.0) -> ExperimentResult:
     return result
 
 
-def throughput_json(result: ExperimentResult, scale: float = 1.0) -> dict:
+def throughput_json(result: ExperimentResult, scale: float = 1.0,
+                    hub_soak: "dict | None" = None) -> dict:
     """The ``BENCH_throughput.json`` payload for a measured run."""
     encodings = {}
     for row in result.rows:
@@ -206,12 +207,82 @@ def throughput_json(result: ExperimentResult, scale: float = 1.0) -> dict:
             "seed_us_per_item": SEED_US_PER_ITEM.get(name),
             "speedup_vs_seed": round(row["speedup_vs_seed"], 2),
         }
-    return {
+    payload = {
         "benchmark": "throughput",
         "scale": scale,
         "primary_metric": "us_per_item",
         "baseline": "per-item forwarding loop",
         "encodings": encodings,
+    }
+    if hub_soak is not None:
+        payload["hub_soak"] = hub_soak
+    return payload
+
+
+# ----------------------------------------------------------------------
+# multi-tenant hub soak
+# ----------------------------------------------------------------------
+def run_hub_soak(n_streams: int = 1000, chunk: int = 64,
+                 batches: int = 4) -> dict:
+    """Hub µs/item vs single-session µs/item at identical chunking.
+
+    The soak pushes ``n_streams * batches`` chunks of ``chunk`` items.
+    The single-session baseline ingests them sequentially into **one**
+    :class:`~repro.pipeline.ProtectionSession`; the hub run routes the
+    same chunks round-robin across ``n_streams`` independently-keyed
+    sessions (the multi-tenant regime: every push lands on a different
+    window, labeler and hasher).  Both paths therefore execute the same
+    number of pushes over the same number of items through the same
+    vectorized scan, so the ratio isolates the cost of multiplexing —
+    routing, stats, LRU bookkeeping plus the cache pressure of a
+    thousand live windows.  The regression guard in
+    ``benchmarks/test_throughput.py`` holds the ratio at <= 1.5x.
+    """
+    from repro.hub import StreamHub
+    from repro.pipeline import ProtectionSession
+
+    params = synthetic_params()
+    total = n_streams * batches * chunk
+    data = np.asarray(reference_synthetic(total))
+    chunks = [data[start:start + chunk]
+              for start in range(0, total, chunk)]
+
+    # -- single-session baseline: same pushes, one stream --------------
+    single = ProtectionSession("1", DEFAULT_KEY, params=params,
+                               encoding="initial")
+    start_time = time.perf_counter()
+    for piece in chunks:
+        single.feed(piece)
+    single.finish()
+    single_seconds = time.perf_counter() - start_time
+
+    # -- hub: same pushes, fanned over n_streams tenants ---------------
+    hub = StreamHub()
+    for i in range(n_streams):
+        hub.protect(f"sensor-{i}", "1", b"tenant-%d" % i,
+                    params=params, encoding="initial")
+    ids = [f"sensor-{i}" for i in range(n_streams)]
+    routed = [(ids[i % n_streams], piece)
+              for i, piece in enumerate(chunks)]
+    start_time = time.perf_counter()
+    for stream_id, piece in routed:
+        hub.push(stream_id, piece)
+    for stream_id in ids:
+        hub.finish(stream_id)
+    hub_seconds = time.perf_counter() - start_time
+
+    single_us = 1e6 * single_seconds / total
+    hub_us = 1e6 * hub_seconds / total
+    return {
+        "n_streams": n_streams,
+        "chunk": chunk,
+        "batches_per_stream": batches,
+        "items": total,
+        "encoding": "initial",
+        "single_session_us_per_item": round(single_us, 4),
+        "hub_us_per_item": round(hub_us, 4),
+        "hub_overhead_ratio": round(hub_us / single_us, 3)
+        if single_us > 0 else 1.0,
     }
 
 
@@ -287,9 +358,16 @@ def main(argv: "list[str] | None" = None) -> int:
 
     result = run_throughput(args.scale)
     print(format_table(result))
+    soak = run_hub_soak(
+        n_streams=max(100, int(1000 * min(args.scale, 1.0))))
+    print(f"hub soak ({soak['n_streams']} streams): "
+          f"{soak['hub_us_per_item']} us/item vs single "
+          f"{soak['single_session_us_per_item']} us/item "
+          f"(ratio {soak['hub_overhead_ratio']})")
     if args.json:
         with open(args.json, "w") as handle:
-            json.dump(throughput_json(result, args.scale), handle, indent=1)
+            json.dump(throughput_json(result, args.scale, hub_soak=soak),
+                      handle, indent=1)
             handle.write("\n")
         print(f"wrote {args.json}")
     if args.write_reference:

@@ -33,6 +33,7 @@ Quickstart::
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Callable, Sequence
 
 import numpy as np
@@ -47,12 +48,31 @@ from repro.core.serialize import (
     report_to_dict,
 )
 from repro.core.watermark import to_bits
-from repro.errors import ParameterError, SessionStateError
+from repro.errors import ParameterError, ReproError, SessionStateError
 from repro.registry import REGISTRY
 from repro.streams.normalize import Normalizer
 
 _STATE_VERSION = 1
 _EMPTY = np.asarray([], dtype=np.float64)
+
+#: The exact top-level / config key sets each checkpoint kind may carry.
+#: Unknown keys are rejected: a field this library does not understand
+#: would otherwise be dropped silently, and a truncated or hand-edited
+#: checkpoint must fail loudly rather than half-restore ("finished" and
+#: "encoding_options" stay optional for backward compatibility).
+_STATE_KEYS = {
+    "protection-session": (frozenset({"format_version", "kind", "finished",
+                                      "config", "scan", "report"}),
+                           frozenset({"watermark_bits", "encoding",
+                                      "encoding_options", "require_labels",
+                                      "params"})),
+    "detection-session": (frozenset({"format_version", "kind", "finished",
+                                     "config", "scan", "votes"}),
+                          frozenset({"wm_length", "encoding",
+                                     "encoding_options", "require_labels",
+                                     "transform_degree", "params"})),
+}
+_OPTIONAL_KEYS = frozenset({"finished", "encoding_options"})
 
 
 def _check_state(state: dict, expected_kind: str) -> None:
@@ -69,11 +89,70 @@ def _check_state(state: dict, expected_kind: str) -> None:
             "checkpoint has no format_version field (truncated or "
             "hand-edited state?)"
         )
-    if int(state["format_version"]) > _STATE_VERSION:
+    try:
+        version = int(state["format_version"])
+    except (TypeError, ValueError):
+        raise SessionStateError(
+            f"checkpoint format_version is not an integer: "
+            f"{state['format_version']!r}"
+        ) from None
+    if version > _STATE_VERSION:
         raise SessionStateError(
             "checkpoint written by a newer library version "
             f"({state['format_version']} > {_STATE_VERSION})"
         )
+    top_keys, config_keys = _STATE_KEYS[expected_kind]
+    unknown = set(state) - top_keys
+    if unknown:
+        raise SessionStateError(
+            f"unknown fields in {expected_kind} checkpoint: "
+            f"{sorted(unknown)} (written by an incompatible producer?)"
+        )
+    missing = top_keys - _OPTIONAL_KEYS - set(state)
+    if missing:
+        raise SessionStateError(
+            f"truncated {expected_kind} checkpoint: missing "
+            f"{sorted(missing)}"
+        )
+    config = state["config"]
+    if not isinstance(config, dict):
+        raise SessionStateError(
+            f"checkpoint config must be a dict, got {type(config).__name__}"
+        )
+    unknown = set(config) - config_keys
+    if unknown:
+        raise SessionStateError(
+            f"unknown config fields in {expected_kind} checkpoint: "
+            f"{sorted(unknown)}"
+        )
+    missing = config_keys - _OPTIONAL_KEYS - set(config)
+    if missing:
+        raise SessionStateError(
+            f"truncated {expected_kind} checkpoint config: missing "
+            f"{sorted(missing)}"
+        )
+
+
+@contextmanager
+def _restore_guard(kind: str):
+    """Convert stray restore-time errors into :class:`SessionStateError`.
+
+    A malformed checkpoint must surface as a clean :mod:`repro.errors`
+    exception at the API boundary — never a raw ``KeyError`` or
+    ``TypeError`` from deep inside the scan-state plumbing.  Library
+    errors (which already carry precise messages, e.g. the window
+    capacity mismatch) pass through unchanged.
+    """
+    try:
+        yield
+    except ReproError:
+        raise
+    except (KeyError, TypeError, ValueError, AttributeError,
+            IndexError) as exc:
+        raise SessionStateError(
+            f"malformed {kind} checkpoint: "
+            f"{type(exc).__name__}: {exc}"
+        ) from exc
 
 
 class ProtectionSession:
@@ -180,19 +259,23 @@ class ProtectionSession:
         against the uninterrupted run).
         """
         _check_state(state, cls._KIND)
-        config = state["config"]
-        session = cls(to_bits([int(b) for b in config["watermark_bits"]]),
-                      key,
-                      params=params_from_dict(config["params"]),
-                      encoding=config["encoding"],
-                      require_labels=bool(config["require_labels"]),
-                      encoding_options=config.get("encoding_options") or {})
-        session._embedder.restore_scan_state(state["scan"])
-        session._embedder.report = report_from_dict(state["report"])
-        # The scanner and its report share one counters object; re-tie
-        # them after both restores so future updates stay in sync.
-        session._embedder.counters = session._embedder.report.counters
-        session._finished = bool(state.get("finished", False))
+        with _restore_guard(cls._KIND):
+            config = state["config"]
+            session = cls(to_bits([int(b) for b in
+                                   config["watermark_bits"]]),
+                          key,
+                          params=params_from_dict(config["params"]),
+                          encoding=config["encoding"],
+                          require_labels=bool(config["require_labels"]),
+                          encoding_options=config.get("encoding_options")
+                          or {})
+            session._embedder.restore_scan_state(state["scan"])
+            session._embedder.report = report_from_dict(state["report"])
+            # The scanner and its report share one counters object;
+            # re-tie them after both restores so future updates stay in
+            # sync.
+            session._embedder.counters = session._embedder.report.counters
+            session._finished = bool(state.get("finished", False))
         return session
 
 
@@ -281,17 +364,49 @@ class DetectionSession:
         final :class:`DetectionResult` equals the uninterrupted run's.
         """
         _check_state(state, cls._KIND)
-        config = state["config"]
-        session = cls(int(config["wm_length"]), key,
-                      params=params_from_dict(config["params"]),
-                      encoding=config["encoding"],
-                      transform_degree=float(config["transform_degree"]),
-                      require_labels=bool(config["require_labels"]),
-                      encoding_options=config.get("encoding_options") or {})
-        session._detector.restore_scan_state(state["scan"])
-        session._detector.restore_vote_state(state["votes"])
-        session._finished = bool(state.get("finished", False))
+        with _restore_guard(cls._KIND):
+            config = state["config"]
+            session = cls(int(config["wm_length"]), key,
+                          params=params_from_dict(config["params"]),
+                          encoding=config["encoding"],
+                          transform_degree=float(config["transform_degree"]),
+                          require_labels=bool(config["require_labels"]),
+                          encoding_options=config.get("encoding_options")
+                          or {})
+            session._detector.restore_scan_state(state["scan"])
+            session._detector.restore_vote_state(state["votes"])
+            session._finished = bool(state.get("finished", False))
         return session
+
+
+#: Checkpoint ``kind`` tag -> session class, for kind-dispatched restore.
+_SESSION_KINDS = {
+    ProtectionSession._KIND: ProtectionSession,
+    DetectionSession._KIND: DetectionSession,
+}
+
+
+def session_from_state(state: dict, key):
+    """Rebuild whichever session type ``state`` was checkpointed from.
+
+    Dispatches on the checkpoint's ``kind`` tag to
+    :meth:`ProtectionSession.from_state` or
+    :meth:`DetectionSession.from_state` — the restore entry point for
+    callers (like :class:`repro.hub.StreamHub`) that recover a mixed
+    population of sessions from one store.
+    """
+    if not isinstance(state, dict):
+        raise SessionStateError(
+            f"session state must be a dict, got {type(state).__name__}"
+        )
+    kind = state.get("kind")
+    cls = _SESSION_KINDS.get(kind)
+    if cls is None:
+        raise SessionStateError(
+            f"unknown session kind {kind!r}; expected one of "
+            f"{sorted(_SESSION_KINDS)}"
+        )
+    return cls.from_state(state, key)
 
 
 # ----------------------------------------------------------------------

@@ -1,17 +1,40 @@
-"""Shared fixtures.
+"""Shared fixtures and hypothesis profiles.
 
 Embedding is the expensive operation, so watermarked reference streams
 are produced once per session and shared read-only; tests that need to
 mutate data copy first.
+
+Two hypothesis profiles are registered here:
+
+* ``default`` — the library's normal interactive profile;
+* ``ci`` — the pinned CI profile: **derandomized** (every CI run
+  explores the same examples, so failures reproduce) with a higher
+  example count for tests that do not set their own.
+
+Select with ``HYPOTHESIS_PROFILE=ci pytest ...`` (the GitHub Actions
+workflow does).
 """
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro import WatermarkParams, watermark_stream
 from repro.streams import GaussianStream, TemperatureSensorGenerator
+
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    max_examples=50,
+    deadline=None,
+    print_blob=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 #: Secret key shared by the reference fixtures.
 KEY = b"test-key-k1"

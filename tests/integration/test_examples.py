@@ -29,6 +29,13 @@ class TestExamples:
         # The clean-data verdict must be "undefined".
         assert "None" in out.rsplit("unwatermarked", 1)[1]
 
+    def test_sensor_fleet_survives_the_crash(self):
+        out = run_example("sensor_fleet.py")
+        assert "then CRASH" in out
+        assert "12/12 sensor streams bit-identical" in out
+        assert "payload read back as '10'" in out
+        assert "evictions" in out
+
     def test_streaming_relay_accumulates_evidence(self):
         out = run_example("streaming_relay.py")
         assert "producer: streamed 12000 watermarked items" in out

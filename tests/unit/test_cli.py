@@ -105,3 +105,199 @@ class TestAttackAndInfo:
         assert info["items"] == 5000
         assert info["major_extremes"] > 10
         assert info["eta_estimate"] > 0
+
+
+class TestErrorPaths:
+    def test_unknown_attack_kind_suggests_spelling(self, stream_file,
+                                                   tmp_path, capsys):
+        """A typoed --kind fails cleanly with a did-you-mean hint."""
+        code = main(["attack", str(stream_file), str(tmp_path / "o.csv"),
+                     "--kind", "sampel"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown" in err
+        assert "Did you mean 'sample'?" in err
+
+    def test_unknown_attack_kind_lists_valid_names(self, stream_file,
+                                                   tmp_path, capsys):
+        code = main(["attack", str(stream_file), str(tmp_path / "o.csv"),
+                     "--kind", "zzz-no-such-attack"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "epsilon" in err and "summarize" in err
+
+    def test_unknown_encoding_rejected_by_parser(self, stream_file,
+                                                 tmp_path, capsys):
+        """Encoding choices come from the registry; bogus names die in
+        argparse with exit code 2."""
+        with pytest.raises(SystemExit) as excinfo:
+            main(["embed", str(stream_file), str(tmp_path / "o.csv"),
+                  "--key", "k", "--encoding", "no-such-encoding"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "invalid choice" in err
+        assert "multihash" in err
+
+    def test_detect_unknown_encoding_rejected(self, stream_file, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["detect", str(stream_file), "--key", "k",
+                  "--encoding", "bogus"])
+        assert excinfo.value.code == 2
+
+
+class TestHubCommands:
+    @pytest.fixture()
+    def fleet(self, tmp_path):
+        """Two small CSV streams plus derived paths for hub runs."""
+        specs = {}
+        for i, seed in enumerate((21, 22)):
+            values = TemperatureSensorGenerator(
+                eta=80, seed=seed).generate(2500)
+            path = tmp_path / f"s{i}.csv"
+            save_stream_csv(path, values)
+            specs[f"stream-{i}"] = (values, path)
+        return tmp_path, specs
+
+    def _stream_args(self, specs, tmp_path, suffix):
+        return [arg for sid, (_, path) in specs.items()
+                for arg in ("--stream",
+                            f"{sid}={path}={tmp_path / (sid + suffix)}")]
+
+    def test_embed_crash_resume_matches_offline(self, fleet, capsys):
+        """hub embed --stop-after + hub resume == offline watermarking."""
+        from repro import watermark_stream
+
+        tmp_path, specs = fleet
+        store = tmp_path / "store"
+        code = main(["hub", "embed", str(store), "--key", "hub-key",
+                     "--watermark", "1", "--chunk", "400",
+                     "--stop-after", "7"]
+                    + self._stream_args(specs, tmp_path, ".out.csv"))
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["stopped_early"] is True
+
+        code = main(["hub", "status", str(store)])
+        assert code == 0
+        status = json.loads(capsys.readouterr().out)
+        assert {row["stream_id"] for row in status["streams"]} \
+            == set(specs)
+        assert all(row["kind"] == "protection-session"
+                   and row["sequence"] > 0 and not row["finished"]
+                   for row in status["streams"])
+
+        code = main(["hub", "resume", str(store), "--key", "hub-key",
+                     "--chunk", "400"]
+                    + self._stream_args(specs, tmp_path, ".tail.csv"))
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert all(row["finished"] for row in summary["streams"].values())
+
+        for sid, (values, _) in specs.items():
+            offline, _ = watermark_stream(values, "1", b"hub-key")
+            recovered = np.concatenate([
+                load_stream_csv(tmp_path / f"{sid}.out.csv"),
+                load_stream_csv(tmp_path / f"{sid}.tail.csv")])
+            assert np.array_equal(recovered, offline)
+
+    def test_stop_after_with_sparse_cadence_never_duplicates(self, fleet,
+                                                             capsys):
+        """--checkpoint-every > 1 + --stop-after must still hand resume
+        a store consistent with the written outputs (a controlled stop
+        checkpoints everything), so concat(out, tail) stays exact."""
+        from repro import watermark_stream
+
+        tmp_path, specs = fleet
+        store = tmp_path / "store"
+        code = main(["hub", "embed", str(store), "--key", "hub-key",
+                     "--chunk", "400", "--checkpoint-every", "3",
+                     "--stop-after", "4"]
+                    + self._stream_args(specs, tmp_path, ".out.csv"))
+        assert code == 0
+        capsys.readouterr()
+        code = main(["hub", "resume", str(store), "--key", "hub-key",
+                     "--chunk", "400"]
+                    + self._stream_args(specs, tmp_path, ".tail.csv"))
+        assert code == 0
+        capsys.readouterr()
+        for sid, (values, _) in specs.items():
+            offline, _ = watermark_stream(values, "1", b"hub-key")
+            recovered = np.concatenate([
+                load_stream_csv(tmp_path / f"{sid}.out.csv"),
+                load_stream_csv(tmp_path / f"{sid}.tail.csv")])
+            assert len(recovered) == len(offline)
+            assert np.array_equal(recovered, offline)
+
+    def test_streams_without_output_yet_are_reported_not_crashed(
+            self, fleet, capsys):
+        """Stopping before a stream released anything must not die on
+        an empty CSV; the summary reports written_items 0."""
+        tmp_path, specs = fleet
+        store = tmp_path / "store"
+        code = main(["hub", "embed", str(store), "--key", "k",
+                     "--chunk", "400", "--stop-after", "1"]
+                    + self._stream_args(specs, tmp_path, ".out.csv"))
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        rows = summary["streams"]
+        untouched = [sid for sid, row in rows.items()
+                     if row["written_items"] == 0]
+        assert untouched  # with one push only, some stream has nothing
+        for sid in untouched:
+            assert rows[sid]["output"] is None
+            assert not (tmp_path / f"{sid}.out.csv").exists()
+
+    def test_resume_of_completed_run_is_graceful(self, fleet, capsys):
+        """Resuming a store whose run already finished writes nothing
+        and reports finished streams instead of crashing."""
+        tmp_path, specs = fleet
+        store = tmp_path / "store"
+        main(["hub", "embed", str(store), "--key", "k"]
+             + self._stream_args(specs, tmp_path, ".out.csv"))
+        capsys.readouterr()
+        code = main(["hub", "resume", str(store), "--key", "k"]
+                    + self._stream_args(specs, tmp_path, ".tail.csv"))
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        for row in summary["streams"].values():
+            assert row["finished"] is True
+            assert row["written_items"] == 0
+
+    def test_status_missing_store_is_clean_error(self, tmp_path, capsys):
+        code = main(["hub", "status", str(tmp_path / "no-such-store")])
+        assert code == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_resume_missing_store_is_clean_error(self, fleet, capsys):
+        tmp_path, specs = fleet
+        code = main(["hub", "resume", str(tmp_path / "nowhere"),
+                     "--key", "k"]
+                    + self._stream_args(specs, tmp_path, ".t.csv"))
+        assert code == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_resume_unknown_stream_is_clean_error(self, fleet, capsys):
+        tmp_path, specs = fleet
+        store = tmp_path / "store"
+        main(["hub", "embed", str(store), "--key", "k", "--stop-after",
+              "2"] + self._stream_args(specs, tmp_path, ".o.csv"))
+        capsys.readouterr()
+        code = main(["hub", "resume", str(store), "--key", "k",
+                     "--stream",
+                     f"ghost={tmp_path / 's0.csv'}={tmp_path / 'g.csv'}"])
+        assert code == 2
+        assert "ghost" in capsys.readouterr().err
+
+    def test_bad_stream_spec_is_clean_error(self, tmp_path, capsys):
+        code = main(["hub", "embed", str(tmp_path / "store"),
+                     "--key", "k", "--stream", "only-an-id"])
+        assert code == 2
+        assert "ID=IN.csv=OUT.csv" in capsys.readouterr().err
+
+    def test_missing_key_is_clean_error(self, fleet, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_KEY", raising=False)
+        tmp_path, specs = fleet
+        code = main(["hub", "embed", str(tmp_path / "store")]
+                    + self._stream_args(specs, tmp_path, ".o.csv"))
+        assert code == 2
+        assert "key" in capsys.readouterr().err

@@ -1,11 +1,21 @@
-"""Session checkpoint state: round-trips, counters, buckets, error paths."""
+"""Session checkpoint state: round-trips, counters, buckets, error paths.
+
+The fuzz classes at the bottom pin the deserialization contract: any
+malformed, truncated, wrong-kind or unknown-field checkpoint raises a
+clean :class:`repro.errors.ReproError` subclass — never a raw
+``KeyError``/``TypeError`` from the restore plumbing, and never a
+silently half-restored session.
+"""
 
 from __future__ import annotations
 
+import copy
 import json
 
 import numpy as np
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro import DetectionSession, ProtectionSession, WatermarkParams
 from repro.core.encoding_factory import build_encoding
@@ -195,3 +205,211 @@ class TestStateBuildingBlocks:
         data["from_the_future"] = 1
         with pytest.raises(ParameterError, match="from_the_future"):
             params_from_dict(data)
+
+
+# ----------------------------------------------------------------------
+# negative / fuzz coverage of checkpoint deserialization
+# ----------------------------------------------------------------------
+from repro import ReproError, session_from_state  # noqa: E402
+from repro.stores import (  # noqa: E402
+    DirectoryCheckpointStore,
+    MemoryCheckpointStore,
+)
+
+JUNK_VALUES = (None, [], {}, "junk", -1, 3.5, True)
+
+
+def make_states(params) -> "dict[str, dict]":
+    """One fed checkpoint of each session kind (fresh dicts per call)."""
+    protection = ProtectionSession("10", KEY,
+                                   params=params.with_updates(phi=5))
+    protection.feed(np.linspace(-0.4, 0.4, 600))
+    detection = DetectionSession(2, KEY, params=params.with_updates(phi=5))
+    detection.feed(np.linspace(-0.4, 0.4, 600))
+    return {"protection": json_roundtrip(protection.to_state()),
+            "detection": json_roundtrip(detection.to_state())}
+
+
+def restore(kind: str, state, key=KEY):
+    if kind == "protection":
+        return ProtectionSession.from_state(state, key)
+    return DetectionSession.from_state(state, key)
+
+
+@pytest.fixture(scope="module")
+def fed_states() -> "dict[str, dict]":
+    from repro import WatermarkParams
+
+    return make_states(WatermarkParams())
+
+
+@pytest.mark.parametrize("kind", ["protection", "detection"])
+class TestMalformedCheckpoints:
+    """Every corruption raises SessionStateError (or a sibling
+    ReproError), with no exceptions leaking from the plumbing."""
+
+    def test_non_dict_states_rejected(self, fed_states, kind):
+        for bad in (None, [], "text", 7, 3.5):
+            with pytest.raises(SessionStateError, match="dict|kind"):
+                restore(kind, bad)
+
+    def test_each_required_key_missing_is_truncation(self, fed_states,
+                                                     kind):
+        state = fed_states[kind]
+        for key_name in state:
+            if key_name in ("finished", "kind", "format_version"):
+                continue  # covered by their own tests below
+            truncated = copy.deepcopy(state)
+            del truncated[key_name]
+            with pytest.raises(SessionStateError, match="truncated"):
+                restore(kind, truncated)
+
+    def test_missing_finished_is_tolerated(self, fed_states, kind):
+        state = copy.deepcopy(fed_states[kind])
+        del state["finished"]
+        assert restore(kind, state).items_ingested == 600
+
+    def test_unknown_top_level_field_rejected(self, fed_states, kind):
+        state = copy.deepcopy(fed_states[kind])
+        state["smuggled_field"] = 1
+        with pytest.raises(SessionStateError, match="smuggled_field"):
+            restore(kind, state)
+
+    def test_unknown_config_field_rejected(self, fed_states, kind):
+        state = copy.deepcopy(fed_states[kind])
+        state["config"]["not_a_real_option"] = True
+        with pytest.raises(SessionStateError, match="not_a_real_option"):
+            restore(kind, state)
+
+    def test_wrong_kind_rejected(self, fed_states, kind):
+        state = copy.deepcopy(fed_states[kind])
+        state["kind"] = "some-other-session"
+        with pytest.raises(SessionStateError, match="kind"):
+            restore(kind, state)
+
+    def test_non_integer_format_version_rejected(self, fed_states, kind):
+        state = copy.deepcopy(fed_states[kind])
+        state["format_version"] = "one"
+        with pytest.raises(SessionStateError, match="format_version"):
+            restore(kind, state)
+
+    def test_config_not_a_dict_rejected(self, fed_states, kind):
+        state = copy.deepcopy(fed_states[kind])
+        state["config"] = ["not", "a", "dict"]
+        with pytest.raises(SessionStateError, match="config"):
+            restore(kind, state)
+
+    def test_scan_junk_raises_cleanly(self, fed_states, kind):
+        for junk in JUNK_VALUES:
+            state = copy.deepcopy(fed_states[kind])
+            state["scan"] = junk
+            with pytest.raises(ReproError):
+                restore(kind, state)
+
+    def test_scan_subfield_junk_raises_cleanly(self, fed_states, kind):
+        for field in ("window", "zigzag", "pending", "label_history"):
+            state = copy.deepcopy(fed_states[kind])
+            state["scan"][field] = "garbage"
+            with pytest.raises(ReproError):
+                restore(kind, state)
+
+    def test_window_items_junk_raises_cleanly(self, fed_states, kind):
+        state = copy.deepcopy(fed_states[kind])
+        state["scan"]["window"]["items"] = ["a", "b"]
+        with pytest.raises(SessionStateError, match="malformed"):
+            restore(kind, state)
+
+    def test_session_from_state_unknown_kind(self, fed_states, kind):
+        state = copy.deepcopy(fed_states[kind])
+        state["kind"] = "mystery-session"
+        with pytest.raises(SessionStateError, match="mystery-session"):
+            session_from_state(state, KEY)
+
+
+class TestKindSpecificCorruption:
+    def test_protection_watermark_bits_junk(self, fed_states):
+        state = copy.deepcopy(fed_states["protection"])
+        state["config"]["watermark_bits"] = "zero"
+        with pytest.raises(SessionStateError, match="malformed"):
+            restore("protection", state)
+
+    def test_protection_report_junk(self, fed_states):
+        state = copy.deepcopy(fed_states["protection"])
+        state["report"] = {"kind": "embed-report"}
+        with pytest.raises(ReproError):
+            restore("protection", state)
+
+    def test_detection_votes_junk(self, fed_states):
+        for junk in JUNK_VALUES:
+            state = copy.deepcopy(fed_states["detection"])
+            state["votes"] = junk
+            with pytest.raises(ReproError):
+                restore("detection", state)
+
+    def test_detection_wm_length_junk(self, fed_states):
+        state = copy.deepcopy(fed_states["detection"])
+        state["config"]["wm_length"] = "two"
+        with pytest.raises(SessionStateError, match="malformed"):
+            restore("detection", state)
+
+
+class TestCheckpointStoreFuzzIntegration:
+    """The stores reject corrupt envelopes; a state that survives the
+    store but is internally corrupt still fails cleanly in from_state —
+    the two validation layers compose into never-silently-corrupt."""
+
+    @pytest.fixture(params=["memory", "directory"])
+    def store(self, request, tmp_path):
+        if request.param == "memory":
+            return MemoryCheckpointStore()
+        return DirectoryCheckpointStore(tmp_path / "store")
+
+    def test_roundtrip_through_store_restores(self, fed_states, store):
+        store.save("s", fed_states["protection"])
+        resumed = ProtectionSession.from_state(store.load("s"), KEY)
+        assert resumed.items_ingested == 600
+
+    def test_corrupt_state_through_store_fails_in_from_state(
+            self, fed_states, store):
+        state = copy.deepcopy(fed_states["detection"])
+        del state["scan"]
+        store.save("s", state)
+        with pytest.raises(SessionStateError, match="truncated"):
+            DetectionSession.from_state(store.load("s"), KEY)
+
+
+MUTATION_PATHS = st.sampled_from([
+    ("kind",), ("format_version",), ("finished",), ("config",), ("scan",),
+    ("config", "encoding"), ("config", "params"),
+    ("config", "encoding_options"), ("config", "require_labels"),
+    ("scan", "window"), ("scan", "zigzag"), ("scan", "pending"),
+    ("scan", "label_history"), ("scan", "next_index"),
+    ("scan", "counters"), ("scan", "window", "items"),
+    ("scan", "window", "capacity"), ("scan", "window", "start_index"),
+])
+
+
+class TestCheckpointMutationFuzz:
+    """Hypothesis sweep: replacing any state node with junk (or deleting
+    it) either restores fine or raises a ReproError — nothing else."""
+
+    @given(path=MUTATION_PATHS,
+           junk=st.sampled_from(JUNK_VALUES + ("delete",)),
+           kind=st.sampled_from(["protection", "detection"]))
+    def test_mutated_checkpoints_never_leak_raw_errors(
+            self, fed_states, path, junk, kind):
+        state = copy.deepcopy(fed_states[kind])
+        node = state
+        for step in path[:-1]:
+            node = node[step]
+        if junk == "delete":
+            node.pop(path[-1], None)
+        else:
+            node[path[-1]] = junk
+        try:
+            session = restore(kind, state)
+            # mutations that happen to be valid must yield a live
+            # session (feeding a "finished" one raises cleanly too)
+            session.feed(np.linspace(-0.2, 0.2, 64))
+        except ReproError:
+            pass  # a clean library error is the contract

@@ -1,0 +1,211 @@
+"""Checkpoint store backends: contract, atomicity, corruption handling.
+
+Both backends run the same contract suite (envelope round-trip, sequence
+numbering, missing-id errors); the directory backend additionally proves
+its atomic-write discipline and that arbitrary stream ids survive the
+file-name encoding.  Corrupt entries — truncated JSON, wrong kinds,
+future versions, hand-edited envelopes — must all raise
+:class:`repro.errors.CheckpointStoreError`, never restore garbage.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import CheckpointStoreError
+from repro.stores import DirectoryCheckpointStore, MemoryCheckpointStore
+
+STATE = {"kind": "protection-session", "format_version": 1,
+         "config": {"encoding": "multihash"}, "scan": {"counters": {}}}
+
+
+@pytest.fixture(params=["memory", "directory"])
+def store(request, tmp_path):
+    """One instance of each backend, same contract."""
+    if request.param == "memory":
+        return MemoryCheckpointStore()
+    return DirectoryCheckpointStore(tmp_path / "store")
+
+
+class TestContract:
+    def test_save_load_roundtrip(self, store):
+        store.save("s1", STATE)
+        assert store.load("s1") == STATE
+
+    def test_sequence_increments_per_save(self, store):
+        assert store.save("s1", STATE) == 1
+        assert store.save("s1", STATE) == 2
+        assert store.save("other", STATE) == 1
+        assert store.entry("s1")["sequence"] == 2
+
+    def test_latest_wins(self, store):
+        store.save("s1", dict(STATE, extra=1))
+        store.save("s1", dict(STATE, extra=2))
+        assert store.load("s1")["extra"] == 2
+
+    def test_ids_sorted_and_len(self, store):
+        for stream_id in ("b", "a", "c"):
+            store.save(stream_id, STATE)
+        assert store.ids() == ("a", "b", "c")
+        assert len(store) == 3
+        assert "a" in store and "zz" not in store
+
+    def test_delete(self, store):
+        store.save("s1", STATE)
+        store.delete("s1")
+        assert "s1" not in store
+        with pytest.raises(CheckpointStoreError, match="no checkpoint"):
+            store.delete("s1")
+
+    def test_load_missing_id_is_clean_error(self, store):
+        with pytest.raises(CheckpointStoreError, match="no checkpoint"):
+            store.load("never-saved")
+
+    def test_non_dict_state_rejected(self, store):
+        with pytest.raises(CheckpointStoreError, match="dict"):
+            store.save("s1", [1, 2, 3])
+
+    def test_bad_stream_id_rejected(self, store):
+        with pytest.raises(CheckpointStoreError, match="stream id"):
+            store.save("", STATE)
+        with pytest.raises(CheckpointStoreError, match="stream id"):
+            store.save(7, STATE)
+
+    def test_unserializable_state_rejected_identically(self, store):
+        """numpy arrays (and friends) fail in BOTH backends, not just
+        the durable one — no backend-dependent surprises."""
+        import numpy as np
+
+        with pytest.raises(CheckpointStoreError,
+                           match="JSON-serializable"):
+            store.save("s1", {"window": np.zeros(3)})
+
+    def test_stored_state_immune_to_caller_mutation(self, store):
+        state = {"kind": "protection-session", "nested": {"x": 1}}
+        store.save("s1", state)
+        state["nested"]["x"] = 999
+        assert store.load("s1")["nested"]["x"] == 1
+
+
+class TestDirectoryBackend:
+    def test_no_temp_files_left_behind(self, tmp_path):
+        store = DirectoryCheckpointStore(tmp_path)
+        for i in range(5):
+            store.save("s1", dict(STATE, i=i))
+        leftovers = [p for p in tmp_path.iterdir()
+                     if not p.name.endswith(".json")]
+        assert leftovers == []
+
+    def test_envelope_written_to_disk(self, tmp_path):
+        store = DirectoryCheckpointStore(tmp_path)
+        store.save("s1", STATE)
+        entry = json.loads((tmp_path / "s1.json").read_text())
+        assert entry["kind"] == "hub-checkpoint"
+        assert entry["stream_id"] == "s1"
+        assert entry["sequence"] == 1
+        assert entry["state"] == STATE
+
+    def test_unsafe_stream_ids_roundtrip(self, tmp_path):
+        store = DirectoryCheckpointStore(tmp_path)
+        ids = ("tenant/sensor-1", "..", "a b", "söns≤r", "%41")
+        for stream_id in ids:
+            store.save(stream_id, dict(STATE, id=stream_id))
+        assert store.ids() == tuple(sorted(ids))
+        for stream_id in ids:
+            assert store.load(stream_id)["id"] == stream_id
+        # every file stays inside the store directory
+        for entry in tmp_path.iterdir():
+            assert entry.parent == tmp_path
+
+    def test_missing_directory_without_create_is_error(self, tmp_path):
+        with pytest.raises(CheckpointStoreError, match="does not exist"):
+            DirectoryCheckpointStore(tmp_path / "nope", create=False)
+
+    def test_path_is_a_file_is_error(self, tmp_path):
+        target = tmp_path / "occupied"
+        target.write_text("not a directory")
+        with pytest.raises(CheckpointStoreError, match="not a directory"):
+            DirectoryCheckpointStore(target)
+
+    def test_reopen_continues_sequence(self, tmp_path):
+        DirectoryCheckpointStore(tmp_path).save("s1", STATE)
+        assert DirectoryCheckpointStore(tmp_path).save("s1", STATE) == 2
+
+
+class TestCorruptEntries:
+    @pytest.fixture()
+    def dir_store(self, tmp_path):
+        store = DirectoryCheckpointStore(tmp_path)
+        store.save("s1", STATE)
+        return store
+
+    def corrupt(self, dir_store, mutate) -> None:
+        path = dir_store.path / "s1.json"
+        mutated = mutate(json.loads(path.read_text()))
+        path.write_text(json.dumps(mutated))
+
+    def test_truncated_json_is_clean_error(self, dir_store):
+        path = dir_store.path / "s1.json"
+        path.write_text(path.read_text()[:25])
+        with pytest.raises(CheckpointStoreError, match="not valid JSON"):
+            dir_store.load("s1")
+
+    def test_wrong_entry_kind_rejected(self, dir_store):
+        self.corrupt(dir_store,
+                     lambda e: dict(e, kind="something-else"))
+        with pytest.raises(CheckpointStoreError, match="kind"):
+            dir_store.load("s1")
+
+    def test_newer_version_rejected(self, dir_store):
+        self.corrupt(dir_store, lambda e: dict(e, format_version=99))
+        with pytest.raises(CheckpointStoreError, match="newer"):
+            dir_store.load("s1")
+
+    def test_unknown_envelope_field_rejected(self, dir_store):
+        self.corrupt(dir_store, lambda e: dict(e, smuggled=True))
+        with pytest.raises(CheckpointStoreError, match="unknown"):
+            dir_store.load("s1")
+
+    def test_non_dict_state_in_entry_rejected(self, dir_store):
+        self.corrupt(dir_store, lambda e: dict(e, state="oops"))
+        with pytest.raises(CheckpointStoreError, match="state"):
+            dir_store.load("s1")
+
+    def test_missing_sequence_rejected(self, dir_store):
+        self.corrupt(dir_store,
+                     lambda e: {k: v for k, v in e.items()
+                                if k != "sequence"})
+        with pytest.raises(CheckpointStoreError, match="sequence"):
+            dir_store.load("s1")
+
+    def test_non_object_entry_rejected(self, dir_store):
+        (dir_store.path / "s1.json").write_text("[1, 2, 3]")
+        with pytest.raises(CheckpointStoreError, match="object"):
+            dir_store.load("s1")
+
+    def test_save_over_corrupt_entry_propagates(self, dir_store):
+        """Overwriting a corrupt checkpoint must not silently restart
+        the sequence over garbage."""
+        (dir_store.path / "s1.json").write_text("{")
+        with pytest.raises(CheckpointStoreError):
+            dir_store.save("s1", STATE)
+
+
+class TestStreamIdFuzz:
+    # max 24 chars: percent-encoding can expand a char to 9 bytes and
+    # the encoded name must stay under the 255-byte filename limit.
+    @given(stream_id=st.text(min_size=1, max_size=24))
+    def test_any_reasonable_id_roundtrips_on_disk(self, stream_id,
+                                                  tmp_path_factory):
+        store = DirectoryCheckpointStore(
+            tmp_path_factory.mktemp("fuzz-store"))
+        store.save(stream_id, dict(STATE, marker="here"))
+        assert store.ids() == (stream_id,)
+        assert store.load(stream_id)["marker"] == "here"
+        file_names = [p.name for p in store.path.iterdir()]
+        assert all(os.sep not in name for name in file_names)
