@@ -14,9 +14,11 @@ The public API has two layers:
   :class:`StreamHub` routes interleaved traffic across many
   independently-keyed sessions, checkpointing them through pluggable
   :class:`CheckpointStore` backends and recovering bit-identically
-  after a crash; every pluggable component (encodings, transforms,
-  attacks, generators) resolves by name through the central
-  :data:`REGISTRY`.
+  after a crash; :mod:`repro.server` serves hubs over TCP (``repro
+  serve``) with a framed protocol, credit-based flow control and a
+  reconnect-and-resume client SDK; every pluggable component
+  (encodings, transforms, attacks, generators, stores) resolves by
+  name through the central :data:`REGISTRY`.
 * **Offline conveniences** (paper-experiment face):
   :func:`watermark_stream`, :func:`detect_watermark` and
   :func:`detect_best` over in-memory arrays — thin wrappers over the
@@ -74,8 +76,10 @@ from repro.errors import (
     HubError,
     NormalizationError,
     ParameterError,
+    ProtocolError,
     QualityConstraintViolated,
     RegistryError,
+    RemoteError,
     ReproError,
     SessionStateError,
     StreamError,
@@ -95,6 +99,7 @@ from repro.stores import (
     CheckpointStore,
     DirectoryCheckpointStore,
     MemoryCheckpointStore,
+    build_store,
 )
 from repro.streams.normalize import Normalizer
 from repro.util.hashing import KeyedHasher
@@ -131,6 +136,8 @@ __all__ = [
     "StreamError",
     "CheckpointStoreError",
     "HubError",
+    "ProtocolError",
+    "RemoteError",
     "DetectionSession",
     "FunctionStage",
     "NormalizeStage",
@@ -144,6 +151,7 @@ __all__ = [
     "CheckpointStore",
     "DirectoryCheckpointStore",
     "MemoryCheckpointStore",
+    "build_store",
     "REGISTRY",
     "ComponentRegistry",
     "Normalizer",

@@ -12,7 +12,13 @@ A thin, scriptable wrapper over the library for the Fig-1 workflow:
 * ``hub``     — multi-tenant streaming: ``hub embed`` watermarks many
   CSV streams through one :class:`repro.hub.StreamHub` with durable
   checkpoints, ``hub resume`` recovers a crashed run from the store and
-  completes it, ``hub status`` inspects a store's checkpoints.
+  completes it, ``hub status`` inspects a store's checkpoints;
+* ``serve``   — expose StreamHub tenants over the framed TCP protocol
+  (:mod:`repro.server`): credit-based flow control, durable per-tenant
+  stores, graceful SIGTERM drain, ``--recover`` restart;
+* ``remote``  — client side of ``serve``: ``remote embed`` / ``remote
+  detect`` run the embed/detect workflows against a remote server with
+  transparent reconnect-and-resume.
 
 All component names — encoding choices, attack/transform kinds — resolve
 through the central :class:`repro.registry.ComponentRegistry`; a newly
@@ -168,6 +174,73 @@ def _build_parser() -> argparse.ArgumentParser:
     hub_status = hub_sub.add_parser(
         "status", help="inspect a checkpoint store")
     hub_status.add_argument("store", help="checkpoint store directory")
+
+    serve = sub.add_parser(
+        "serve", help="serve StreamHub tenants over framed TCP")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=7707,
+                       help="bind port; 0 picks a free one (default 7707)")
+    serve.add_argument("--store", default=None,
+                       help="root directory for durable per-tenant "
+                            "checkpoint stores (default: in-memory)")
+    serve.add_argument("--store-backend", default="directory",
+                       metavar="NAME",
+                       help="registered store backend used with --store "
+                            "(see `repro list`; default 'directory')")
+    serve.add_argument("--credits", type=int, default=4,
+                       help="outstanding PUSH frames granted per stream "
+                            "(default 4)")
+    serve.add_argument("--checkpoint-every", type=int, default=1,
+                       help="checkpoint a stream every N pushes "
+                            "(default 1)")
+    serve.add_argument("--checkpoint-interval", type=float, default=None,
+                       metavar="SECONDS",
+                       help="also checkpoint all streams on this "
+                            "wall-clock period")
+    serve.add_argument("--max-live", type=int, default=None,
+                       help="LRU-evict idle sessions beyond this count")
+    serve.add_argument("--recover", action="store_true",
+                       help="start over a non-empty store and resume its "
+                            "checkpointed streams as clients reconnect")
+
+    remote = sub.add_parser(
+        "remote", help="drive a repro serve endpoint as a client")
+    remote_sub = remote.add_subparsers(dest="remote_command", required=True)
+
+    def add_remote_common(p: argparse.ArgumentParser) -> None:
+        add_common(p, needs_key=True)
+        p.add_argument("--host", default="127.0.0.1",
+                       help="server address (default 127.0.0.1)")
+        p.add_argument("--port", type=int, required=True,
+                       help="server port")
+        p.add_argument("--tenant", default="default",
+                       help="tenant namespace (default 'default')")
+        p.add_argument("--stream-id", required=True,
+                       help="stream id on the server")
+        p.add_argument("--chunk", type=int, default=500,
+                       help="items per feed (default 500)")
+        p.add_argument("--encoding", default="multihash",
+                       choices=encodings)
+
+    remote_embed = remote_sub.add_parser(
+        "embed", help="watermark a CSV stream through a remote server")
+    add_remote_common(remote_embed)
+    remote_embed.add_argument("output", help="output CSV path")
+    remote_embed.add_argument("--watermark", default="1",
+                              help="payload: bit string or text "
+                                   "(default '1')")
+
+    remote_detect = remote_sub.add_parser(
+        "detect", help="detect a watermark through a remote server")
+    add_remote_common(remote_detect)
+    remote_detect.add_argument("--bits", type=int, default=1,
+                               help="payload length in bits (default 1)")
+    remote_detect.add_argument("--degree", type=float, default=1.0,
+                               help="known transform degree rho "
+                                    "(default 1)")
+    remote_detect.add_argument("--expect", default=None,
+                               help="expected payload to score against")
     return parser
 
 
@@ -177,6 +250,14 @@ def _load(args) -> np.ndarray:
         low, high = (float(x) for x in args.normalize.split(":"))
         values = Normalizer(low=low, high=high).normalize(values)
     return values
+
+
+def _denormalize(args, values: np.ndarray) -> np.ndarray:
+    """Map output values back to physical units when --normalize is on."""
+    if not args.normalize or not len(values):
+        return values
+    low, high = (float(x) for x in args.normalize.split(":"))
+    return Normalizer(low=low, high=high).denormalize(values)
 
 
 def _params(args) -> WatermarkParams:
@@ -198,9 +279,7 @@ def _cmd_embed(args) -> int:
     marked, report = watermark_stream(values, args.watermark,
                                       _require_key(args), params=params,
                                       encoding=args.encoding)
-    if args.normalize:
-        low, high = (float(x) for x in args.normalize.split(":"))
-        marked = Normalizer(low=low, high=high).denormalize(marked)
+    marked = _denormalize(args, marked)
     save_stream_csv(args.output, marked)
     print(json.dumps(report.summary(), indent=2))
     return 0
@@ -249,10 +328,7 @@ def _cmd_attack(args) -> int:
     # default (e.g. segment's "half the stream").
     options = {name: value for name, value in candidates.items()
                if name in accepted and value is not None}
-    out = np.asarray(builder(**options)(values))
-    if args.normalize:
-        low, high = (float(x) for x in args.normalize.split(":"))
-        out = Normalizer(low=low, high=high).denormalize(out)
+    out = _denormalize(args, np.asarray(builder(**options)(values)))
     save_stream_csv(args.output, out)
     print(json.dumps({"kind": registration.name,
                       "component_kind": registration.kind,
@@ -430,8 +506,14 @@ def _cmd_hub_status(args) -> int:
     from repro.stores import DirectoryCheckpointStore
 
     store = DirectoryCheckpointStore(args.store, create=False)
-    print(json.dumps({"store": args.store,
-                      "streams": store_summary(store)}, indent=2))
+    rows = store_summary(store)
+    if not rows:
+        # An empty store is a normal operational state (fresh start, or
+        # every stream finished and was dropped) — say so instead of
+        # printing a bare empty table.
+        print(f"store {args.store} is empty: no stream checkpoints")
+        return 0
+    print(json.dumps({"store": args.store, "streams": rows}, indent=2))
     return 0
 
 
@@ -446,6 +528,118 @@ def _cmd_hub(args) -> int:
     return _HUB_COMMANDS[args.hub_command](args)
 
 
+# ----------------------------------------------------------------------
+# network serving
+# ----------------------------------------------------------------------
+def _cmd_serve(args) -> int:
+    import asyncio
+    import signal
+
+    from repro.server.service import StreamService
+
+    async def run() -> None:
+        service = StreamService(
+            host=args.host, port=args.port, store_path=args.store,
+            store_backend=args.store_backend, credits=args.credits,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_interval=args.checkpoint_interval,
+            max_live_sessions=args.max_live, recover=args.recover)
+        host, port = await service.start()
+        recoverable = service.recoverable() if args.recover else {}
+        # One machine-readable ready line: scripts parse the bound port
+        # (required with --port 0) before dialing in.
+        print(json.dumps({
+            "serving": {"host": host, "port": port},
+            "store": args.store,
+            "recoverable": {tenant: len(ids)
+                            for tenant, ids in recoverable.items()},
+        }), flush=True)
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(
+                    signum,
+                    lambda: asyncio.ensure_future(service.drain()))
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
+        await service.serve_until_drained()
+        print(json.dumps({"drained": True, "pushes": service.pushes}),
+              flush=True)
+
+    asyncio.run(run())
+    return 0
+
+
+def _remote_feed(args, session, values) -> "list[np.ndarray]":
+    pieces = []
+    for start in range(0, len(values), args.chunk):
+        pieces.append(session.feed(values[start:start + args.chunk]))
+    pieces.append(session.finish())
+    return pieces
+
+
+def _cmd_remote_embed(args) -> int:
+    from repro.server.client import RemoteClient
+
+    values = _load(args)
+    with RemoteClient(args.host, args.port, tenant=args.tenant) as client:
+        session = client.protect(args.stream_id, args.watermark,
+                                 _require_key(args), params=_params(args),
+                                 encoding=args.encoding)
+        pieces = _remote_feed(args, session, values)
+        reconnects = client.reconnects
+    pieces = [piece for piece in pieces if len(piece)]
+    marked = _denormalize(args, np.concatenate(pieces) if pieces
+                          else np.empty(0, dtype=np.float64))
+    # An empty stream yields no output file (the CSV layer refuses to
+    # read empty files back), matching the hub commands.
+    if len(marked):
+        save_stream_csv(args.output, marked)
+    print(json.dumps({"stream_id": args.stream_id,
+                      "items_in": len(values),
+                      "items_out": len(marked),
+                      "output": args.output if len(marked) else None,
+                      "reconnects": reconnects}, indent=2))
+    return 0
+
+
+def _cmd_remote_detect(args) -> int:
+    from repro.server.client import RemoteClient
+
+    values = _load(args)
+    with RemoteClient(args.host, args.port, tenant=args.tenant) as client:
+        session = client.detect(args.stream_id, args.bits,
+                                _require_key(args), params=_params(args),
+                                encoding=args.encoding,
+                                transform_degree=args.degree)
+        _remote_feed(args, session, values)
+        result = session.result()
+        reconnects = client.reconnects
+    payload = {
+        "stream_id": args.stream_id,
+        "votes": [result.votes(i) for i in range(result.wm_length)],
+        "bias": [result.bias(i) for i in range(result.wm_length)],
+        "confidence_bit0": result.confidence(0),
+        "estimate": ["1" if b else "0" if b is not None else "?"
+                     for b in result.wm_estimate()],
+        "reconnects": reconnects,
+    }
+    if args.expect is not None:
+        payload["match_fraction"] = result.match_fraction(args.expect)
+    print(json.dumps(payload, indent=2))
+    return 0 if result.total_bias > 0 else 1
+
+
+_REMOTE_COMMANDS = {
+    "embed": _cmd_remote_embed,
+    "detect": _cmd_remote_detect,
+}
+
+
+def _cmd_remote(args) -> int:
+    return _REMOTE_COMMANDS[args.remote_command](args)
+
+
 _COMMANDS = {
     "embed": _cmd_embed,
     "detect": _cmd_detect,
@@ -453,6 +647,8 @@ _COMMANDS = {
     "info": _cmd_info,
     "list": _cmd_list,
     "hub": _cmd_hub,
+    "serve": _cmd_serve,
+    "remote": _cmd_remote,
 }
 
 

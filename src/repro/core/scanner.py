@@ -157,6 +157,19 @@ class StreamScanner:
         released.append(self._window.flush_array())
         return np.concatenate(released)
 
+    @property
+    def items_pending(self) -> int:
+        """Ingested items still held back by the window (not yet released).
+
+        ``counters.items - items_pending`` is therefore the number of
+        output items this scanner has released so far — the output-side
+        offset a network peer needs to deduplicate redelivered chunks
+        after a resume (see :mod:`repro.server`).  Restoring a
+        checkpoint restores the window, so the property stays correct
+        across :meth:`restore_scan_state`.
+        """
+        return len(self._window)
+
     # ------------------------------------------------------------------
     # checkpoint / resume
     # ------------------------------------------------------------------

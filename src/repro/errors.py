@@ -102,5 +102,29 @@ class HubError(ReproError):
     """
 
 
+class ProtocolError(ReproError):
+    """A network frame violates the ``repro.server`` wire protocol.
+
+    Raised by :mod:`repro.server.protocol` on malformed frames:
+    truncated or oversized length prefixes, invalid JSON, unknown frame
+    types, missing or unknown fields, wrong field types, and payload
+    arrays that do not decode — a corrupt frame must fail loudly, never
+    half-apply.
+    """
+
+
+class RemoteError(ReproError):
+    """The server answered a client request with an ERROR frame.
+
+    Carries the server-reported error ``code`` (e.g. ``"unknown-stream"``,
+    ``"flow"``, ``"busy"``) so SDK callers can branch on the failure
+    class without parsing the message text.
+    """
+
+    def __init__(self, code: str, message: str = "") -> None:
+        self.code = code
+        super().__init__(message or code)
+
+
 class KeyError_(ReproError, ValueError):
     """A secret key is malformed (empty, wrong type, or too short)."""

@@ -196,7 +196,8 @@ def run_throughput(scale: float = 1.0) -> ExperimentResult:
 
 
 def throughput_json(result: ExperimentResult, scale: float = 1.0,
-                    hub_soak: "dict | None" = None) -> dict:
+                    hub_soak: "dict | None" = None,
+                    remote_loopback: "dict | None" = None) -> dict:
     """The ``BENCH_throughput.json`` payload for a measured run."""
     encodings = {}
     for row in result.rows:
@@ -216,6 +217,8 @@ def throughput_json(result: ExperimentResult, scale: float = 1.0,
     }
     if hub_soak is not None:
         payload["hub_soak"] = hub_soak
+    if remote_loopback is not None:
+        payload["remote_loopback"] = remote_loopback
     return payload
 
 
@@ -283,6 +286,77 @@ def run_hub_soak(n_streams: int = 1000, chunk: int = 64,
         "hub_us_per_item": round(hub_us, 4),
         "hub_overhead_ratio": round(hub_us / single_us, 3)
         if single_us > 0 else 1.0,
+    }
+
+
+# ----------------------------------------------------------------------
+# remote loopback: the network serving layer vs the in-process hub
+# ----------------------------------------------------------------------
+def run_remote_loopback(n_items: int = 40000, chunk: int = 2000) -> dict:
+    """µs/item through ``repro serve`` on loopback vs the in-process hub.
+
+    One protection stream is fed in identical chunks twice: once into a
+    :class:`~repro.hub.StreamHub` directly, once through a
+    :class:`~repro.server.service.StreamService` on 127.0.0.1 via the
+    sync :class:`~repro.server.client.RemoteClient`.  The ratio prices
+    the serving layer itself — framing, base64 payloads, TCP round
+    trips, credit bookkeeping — on top of the same scan.  Checkpointing
+    is off on both sides so the comparison isolates transport cost.
+    """
+    import asyncio
+    import threading
+
+    from repro.hub import StreamHub
+    from repro.server.client import RemoteClient
+    from repro.server.service import StreamService
+
+    params = synthetic_params()
+    data = np.asarray(reference_synthetic(n_items))
+    chunks = [data[start:start + chunk]
+              for start in range(0, n_items, chunk)]
+
+    # -- in-process hub baseline ---------------------------------------
+    hub = StreamHub()
+    hub.protect("bench", "1", DEFAULT_KEY, params=params,
+                encoding="initial")
+    start_time = time.perf_counter()
+    for piece in chunks:
+        hub.push("bench", piece)
+    hub.finish("bench")
+    hub_seconds = time.perf_counter() - start_time
+
+    # -- the same pushes over loopback TCP -----------------------------
+    loop = asyncio.new_event_loop()
+    thread = threading.Thread(target=loop.run_forever, daemon=True)
+    thread.start()
+    service = StreamService(checkpoint_every=0)
+    try:
+        host, port = asyncio.run_coroutine_threadsafe(
+            service.start(), loop).result(30)
+        with RemoteClient(host, port, push_items=chunk) as client:
+            session = client.protect("bench", "1", DEFAULT_KEY,
+                                     params=params, encoding="initial")
+            start_time = time.perf_counter()
+            for piece in chunks:
+                session.feed(piece)
+            session.finish()
+            remote_seconds = time.perf_counter() - start_time
+    finally:
+        asyncio.run_coroutine_threadsafe(service.drain(), loop).result(30)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=5)
+        loop.close()
+
+    hub_us = 1e6 * hub_seconds / n_items
+    remote_us = 1e6 * remote_seconds / n_items
+    return {
+        "items": n_items,
+        "chunk": chunk,
+        "encoding": "initial",
+        "inprocess_hub_us_per_item": round(hub_us, 4),
+        "remote_us_per_item": round(remote_us, 4),
+        "remote_overhead_ratio": round(remote_us / hub_us, 3)
+        if hub_us > 0 else 1.0,
     }
 
 
@@ -364,9 +438,16 @@ def main(argv: "list[str] | None" = None) -> int:
           f"{soak['hub_us_per_item']} us/item vs single "
           f"{soak['single_session_us_per_item']} us/item "
           f"(ratio {soak['hub_overhead_ratio']})")
+    loopback = run_remote_loopback(
+        n_items=max(10000, int(40000 * min(args.scale, 1.0))))
+    print(f"remote loopback ({loopback['items']} items): "
+          f"{loopback['remote_us_per_item']} us/item vs in-process "
+          f"{loopback['inprocess_hub_us_per_item']} us/item "
+          f"(ratio {loopback['remote_overhead_ratio']})")
     if args.json:
         with open(args.json, "w") as handle:
-            json.dump(throughput_json(result, args.scale, hub_soak=soak),
+            json.dump(throughput_json(result, args.scale, hub_soak=soak,
+                                      remote_loopback=loopback),
                       handle, indent=1)
             handle.write("\n")
         print(f"wrote {args.json}")

@@ -50,7 +50,12 @@ from typing import Callable, Iterable, Mapping
 
 import numpy as np
 
-from repro.errors import HubError, ParameterError, SessionStateError
+from repro.errors import (
+    CheckpointStoreError,
+    HubError,
+    ParameterError,
+    SessionStateError,
+)
 from repro.pipeline import (
     DetectionSession,
     ProtectionSession,
@@ -116,11 +121,19 @@ class StreamHub:
         Upper bound on sessions resident in memory; beyond it the least
         recently pushed streams are checkpointed and evicted.  ``None``
         keeps everything live.
+    checkpoint_hook:
+        Optional callable invoked with the stream id immediately
+        *before* every checkpoint write (cadence, eviction, explicit),
+        so companion state can be persisted no later than the session
+        state it describes (used by the network server's output-replay
+        sidecar).
     """
 
     def __init__(self, *, store: "CheckpointStore | None" = None,
                  checkpoint_every: int = 0,
-                 max_live_sessions: "int | None" = None) -> None:
+                 max_live_sessions: "int | None" = None,
+                 checkpoint_hook: "Callable[[str], None] | None"
+                 = None) -> None:
         if checkpoint_every < 0:
             raise ParameterError(
                 f"checkpoint_every must be >= 0, got {checkpoint_every}"
@@ -137,6 +150,12 @@ class StreamHub:
         self._store = store if store is not None else MemoryCheckpointStore()
         self._checkpoint_every = int(checkpoint_every)
         self._max_live = max_live_sessions
+        #: Called with the stream id immediately *before* every
+        #: checkpoint write (cadence, eviction, explicit), so a caller
+        #: persisting companion state (e.g. the network server's
+        #: output-replay sidecar) can guarantee it is never older than
+        #: the session state it accompanies.
+        self._checkpoint_hook = checkpoint_hook
         #: Live sessions in LRU order (least recently used first).
         self._sessions: "OrderedDict[str, object]" = OrderedDict()
         self._keys: "dict[str, object]" = {}
@@ -209,6 +228,46 @@ class StreamHub:
             stream_id=stream_id, kind=kind,
             items_in=int(counters.get("items", 0)), live=False,
             finished=bool(state.get("finished", False)))
+
+    def restore(self, stream_id: str, key) -> None:
+        """Adopt one checkpointed stream from the store into this hub.
+
+        The per-stream counterpart of :meth:`recover`: a hub that was
+        started empty against an existing store (e.g. a network server
+        booted with ``--recover``) re-admits streams lazily, as each
+        client reconnects and re-supplies its key.  The restored session
+        continues bit-identically from its latest durable checkpoint.
+        """
+        self._check_new_id(stream_id)
+        if stream_id not in self._store:
+            raise HubError(
+                f"store holds no checkpoint for stream {stream_id!r}; "
+                "nothing to restore"
+            )
+        self._adopt(stream_id, session_from_state(self._store.load(stream_id),
+                                                  key), key)
+        self._stats[stream_id].restores += 1
+
+    def drop(self, stream_id: str, *, force: bool = False) -> None:
+        """Evict one stream entirely: session, stats, key and checkpoint.
+
+        A long-lived server would otherwise leak finished sessions into
+        the LRU and their checkpoints into the store forever.  Dropping
+        an unfinished stream discards un-replayable state, so it
+        requires ``force=True``.  The stream id becomes reusable and its
+        checkpoint (if any) is deleted from the store.
+        """
+        self._known(stream_id)
+        if not self._stats[stream_id].finished and not force:
+            raise HubError(
+                f"stream {stream_id!r} is not finished; dropping it "
+                "would discard live state (pass force=True to override)"
+            )
+        self._sessions.pop(stream_id, None)
+        self._keys.pop(stream_id, None)
+        del self._stats[stream_id]
+        if stream_id in self._store:
+            self._store.delete(stream_id)
 
     # ------------------------------------------------------------------
     # ingestion
@@ -289,6 +348,23 @@ class StreamHub:
             )
         return session.report
 
+    def offsets(self, stream_id: str) -> dict:
+        """Authoritative replay/delivery offsets for one stream.
+
+        ``items_in`` is the session's total ingested items (the replay
+        offset), ``items_out`` its total released output items (the
+        delivery-deduplication offset) — both read from the session
+        itself, so they are exact even right after a restore, where the
+        hub-lifetime counters in :meth:`stats` restart.  Evicted
+        sessions are transparently restored first.
+        """
+        session = self._resident(stream_id)
+        return {
+            "items_in": int(session.items_ingested),
+            "items_out": int(session.items_released),
+            "finished": bool(self._stats[stream_id].finished),
+        }
+
     def stats(self, stream_id: "str | None" = None):
         """Per-stream counters: one dict, or ``{stream_id: dict}`` for all."""
         if stream_id is not None:
@@ -336,6 +412,8 @@ class StreamHub:
                 for stream_id in self.stream_ids}
 
     def _write_checkpoint(self, stream_id: str, session) -> int:
+        if self._checkpoint_hook is not None:
+            self._checkpoint_hook(stream_id)
         sequence = self._store.save(stream_id, session.to_state())
         self._stats[stream_id].checkpoints += 1
         return sequence
@@ -440,7 +518,16 @@ def store_summary(store: CheckpointStore) -> "list[dict]":
     """
     rows = []
     for stream_id in store.ids():
-        entry = store.entry(stream_id)
+        try:
+            entry = store.entry(stream_id)
+        except CheckpointStoreError:
+            # TOCTOU on a live server: the entry may be deleted (drop,
+            # finished-stream cleanup) between ids() and entry().  A
+            # vanished id is skipped; a *present but corrupt* entry
+            # still propagates its error.
+            if stream_id in store:
+                raise
+            continue
         state = entry["state"]
         scan = state.get("scan") or {}
         counters = scan.get("counters") or {}

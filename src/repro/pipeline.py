@@ -198,6 +198,17 @@ class ProtectionSession:
         return self._embedder.counters.items
 
     @property
+    def items_released(self) -> int:
+        """Output items released so far (ingested minus window-held).
+
+        Survives checkpoint/restore, so a resumed session reports the
+        same output offset the original had at checkpoint time — the
+        deduplication anchor for network redelivery
+        (:mod:`repro.server`).
+        """
+        return self._embedder.counters.items - self._embedder.items_pending
+
+    @property
     def watermark_bits(self) -> "list[bool]":
         """The payload being embedded (defensive copy)."""
         return self._embedder.watermark_bits
@@ -314,6 +325,11 @@ class DetectionSession:
     def items_ingested(self) -> int:
         """Total stream items fed into this session so far."""
         return self._detector.counters.items
+
+    @property
+    def items_released(self) -> int:
+        """Pass-through items released so far (ingested minus held)."""
+        return self._detector.counters.items - self._detector.items_pending
 
     def feed(self, chunk) -> np.ndarray:
         """Push one chunk; return the scanned items (pass-through)."""

@@ -29,6 +29,10 @@ Registered kinds and their calling conventions:
 ``generator``
     A stream-source class constructed with keyword parameters and
     exposing ``generate(n_items)``.
+``store``
+    A :class:`repro.stores.CheckpointStore` subclass; directory-backed
+    stores are constructed as ``obj(path)``, process-local ones as
+    ``obj()`` (see :func:`repro.stores.build_store`).
 
 Built-in components self-register when their home module is imported;
 the registry lazily imports those provider modules on first lookup, so
@@ -51,6 +55,7 @@ _PROVIDER_MODULES = (
     "repro.transforms",
     "repro.attacks",
     "repro.streams.generators",
+    "repro.stores",
 )
 
 
@@ -75,7 +80,7 @@ class ComponentRegistry:
     """
 
     #: The component kinds the library defines.
-    KINDS = ("encoding", "transform", "attack", "generator")
+    KINDS = ("encoding", "transform", "attack", "generator", "store")
 
     provider_modules: tuple = _PROVIDER_MODULES
     _tables: "dict[str, dict[str, Registration]]" = field(init=False)

@@ -1,0 +1,62 @@
+"""Network serving layer: the :class:`~repro.hub.StreamHub` over TCP.
+
+This package turns the in-process streaming library into a deployable
+service (the SecureStreams / Gabriel middleware shape):
+
+* :mod:`repro.server.protocol` — a versioned, length-prefixed JSON
+  frame protocol (HELLO/OPEN/PUSH/FLUSH/RESULT/CREDIT/ERROR/BYE) with
+  strict decode validation and base64-encoded float64 payloads;
+* :mod:`repro.server.service` — an asyncio TCP server multiplexing one
+  :class:`~repro.hub.StreamHub` per tenant namespace with credit-based
+  per-stream flow control, periodic checkpointing through any
+  registered :class:`~repro.stores.CheckpointStore`, graceful drain on
+  SIGTERM and ``--recover`` restart;
+* :mod:`repro.server.client` — sync and async client SDKs whose
+  :class:`~repro.server.client.RemoteSession` mirrors the
+  :class:`~repro.pipeline.ProtectionSession` /
+  :class:`~repro.pipeline.DetectionSession` push/finish API, with
+  transparent reconnect-and-resume from server-reported offsets.
+
+Run a server and reach it remotely::
+
+    $ repro serve --port 7707 --store /var/lib/repro/fleet
+
+    from repro.server import RemoteClient
+    with RemoteClient("127.0.0.1", 7707) as client:
+        session = client.protect("sensor-1", "(c) DataCorp", b"k1")
+        for chunk in chunks:
+            forward(session.feed(chunk))
+        forward(session.finish())
+"""
+
+from repro.server.client import (
+    AsyncRemoteClient,
+    AsyncRemoteSession,
+    RemoteClient,
+    RemoteSession,
+)
+from repro.server.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    decode_array,
+    decode_frame,
+    encode_array,
+    encode_frame,
+)
+from repro.server.service import StreamService
+
+__all__ = [
+    "AsyncRemoteClient",
+    "AsyncRemoteSession",
+    "RemoteClient",
+    "RemoteSession",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "FrameDecoder",
+    "decode_array",
+    "decode_frame",
+    "encode_array",
+    "encode_frame",
+    "StreamService",
+]

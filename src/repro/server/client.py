@@ -1,0 +1,658 @@
+"""Client SDK: remote sessions with reconnect-and-resume.
+
+:class:`AsyncRemoteClient` (asyncio) and :class:`RemoteClient` (its
+synchronous wrapper, running a private event loop on a daemon thread)
+speak the :mod:`repro.server.protocol` frame protocol to a
+:class:`~repro.server.service.StreamService`.  Sessions obtained from
+:meth:`~AsyncRemoteClient.protect` / :meth:`~AsyncRemoteClient.detect`
+mirror the in-process :class:`~repro.pipeline.ProtectionSession` /
+:class:`~repro.pipeline.DetectionSession` push/finish API, so code
+written against local sessions works remotely by swapping the
+constructor::
+
+    with RemoteClient("127.0.0.1", 7707) as client:
+        session = client.protect("sensor-1", "(c) DataCorp", b"k1")
+        for chunk in chunks:
+            forward(session.feed(chunk))      # watermarked, window-delayed
+        forward(session.finish())
+
+**Reconnect-and-resume.**  A session retains every item it has fed (the
+rights owner's raw stream) and counts every output item it has
+delivered.  When the connection drops — network blip, server restart,
+even a SIGKILLed server brought back with ``--recover`` — the client
+reconnects, re-opens each live stream with ``resume`` and the original
+key, reads the server-reported ``items_in``/``items_out`` offsets, and
+replays exactly the unseen input suffix.  Redelivered output items are
+deduplicated against the delivery counter, so the caller observes each
+output item **exactly once**, bit-identical to an uninterrupted run
+(asserted by ``tests/integration/test_server.py`` and
+``examples/remote_fleet.py``).
+
+**Flow control.**  The server grants N outstanding PUSH frames per
+stream; :meth:`~AsyncRemoteSession.feed` splits large chunks and keeps
+at most that many in flight, waiting for CREDIT frames instead of
+buffering unboundedly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from collections import deque
+
+import numpy as np
+
+from repro.core.detector import DetectionResult
+from repro.core.scanner import ScanCounters
+from repro.core.serialize import params_to_dict
+from repro.errors import (
+    DetectionError,
+    ParameterError,
+    ProtocolError,
+    RemoteError,
+)
+from repro.server import protocol
+
+_EMPTY = np.empty(0, dtype=np.float64)
+
+#: Errors that mean "the connection is gone" (trigger reconnect), as
+#: opposed to semantic failures the server reported on a healthy link.
+#: ConnectionResetError (raised by our own read path on EOF/BYE) is a
+#: ConnectionError subclass, so it is covered.
+_CONNECTION_ERRORS = (ConnectionError, OSError, EOFError,
+                      asyncio.IncompleteReadError, ProtocolError)
+
+
+class AsyncRemoteSession:
+    """One remote stream: the async push/finish API plus resume state.
+
+    Obtained from :meth:`AsyncRemoteClient.protect` /
+    :meth:`AsyncRemoteClient.detect`; not constructed directly.
+    """
+
+    def __init__(self, client: "AsyncRemoteClient", stream_id: str,
+                 kind: str, key: bytes, open_fields: dict) -> None:
+        self._client = client
+        self.stream_id = stream_id
+        self.kind = kind
+        self._key = key
+        #: Config fields re-sent verbatim on every (re-)open.
+        self._open_fields = dict(open_fields)
+        #: Every chunk ever fed, in order — the replay source.
+        self._retained: "list[np.ndarray]" = []
+        self._fed = 0
+        #: Output items handed to the caller (exactly-once dedupe line).
+        self._delivered = 0
+        #: The server's output position for the *next* incoming values
+        #: payload (reset from ``items_out`` at every open/resume).
+        self._server_pos = 0
+        #: Novel outputs received while not inside feed() (replay).
+        self._pending: "list[np.ndarray]" = []
+        self._seq = 0
+        self._finished = False
+        self._detection: "dict | None" = None
+
+    # -- bookkeeping ----------------------------------------------------
+    @property
+    def items_ingested(self) -> int:
+        """Items fed into this session so far (client-side count)."""
+        return self._fed
+
+    @property
+    def finished(self) -> bool:
+        """Whether :meth:`finish` has completed."""
+        return self._finished
+
+    def _retained_suffix(self, offset: int) -> np.ndarray:
+        """Concatenated retained items from absolute offset ``offset``."""
+        if offset >= self._fed:
+            return _EMPTY
+        flat = (np.concatenate(self._retained) if self._retained
+                else _EMPTY)
+        return flat[offset:]
+
+    def _accept_output(self, values: np.ndarray) -> None:
+        """Deduplicate one incoming values payload into the pending buffer.
+
+        ``values`` starts at server output position ``_server_pos``;
+        anything before ``_delivered`` was already handed to the caller
+        (a redelivery after resume) and is dropped.  Novel items land in
+        ``_pending`` — never in transient local state — so a connection
+        loss between receiving an output and returning it to the caller
+        cannot discard it (it is drained by the next feed/finish).
+        """
+        skip = min(max(self._delivered - self._server_pos, 0), values.size)
+        self._server_pos += values.size
+        novel = values[skip:]
+        self._delivered += novel.size
+        if novel.size:
+            self._pending.append(novel)
+
+    def _take_pending(self) -> "list[np.ndarray]":
+        pending, self._pending = self._pending, []
+        return pending
+
+    # -- the session API ------------------------------------------------
+    async def feed(self, chunk) -> np.ndarray:
+        """Push one chunk; return the (novel) output items released."""
+        if self._finished:
+            raise ParameterError(
+                "session already finished; start a new one")
+        array = np.asarray(chunk, dtype=np.float64).ravel()
+        self._retained.append(array)
+        self._fed += array.size
+        return await self._client._feed(self, array)
+
+    async def finish(self) -> np.ndarray:
+        """End the stream; return the remaining (novel) output items."""
+        if self._finished:
+            raise ParameterError("session already finished")
+        return await self._client._finish(self)
+
+    def result(self) -> DetectionResult:
+        """The reconstructed detection evidence (after :meth:`finish`)."""
+        if self.kind != "detection":
+            raise DetectionError(
+                f"stream {self.stream_id!r} is a protection stream; "
+                "only detection streams have voting results"
+            )
+        if self._detection is None:
+            raise DetectionError(
+                "no remote evidence yet; detection results arrive with "
+                "finish()"
+            )
+        payload = self._detection
+        return DetectionResult(
+            buckets_true=[int(v) for v in payload["buckets_true"]],
+            buckets_false=[int(v) for v in payload["buckets_false"]],
+            counters=ScanCounters.from_dict(payload["counters"]),
+            abstentions=int(payload["abstentions"]),
+            vote_threshold=int(payload["vote_threshold"]))
+
+
+class AsyncRemoteClient:
+    """Asyncio client for a :class:`~repro.server.service.StreamService`.
+
+    Parameters
+    ----------
+    host, port:
+        The server endpoint.
+    tenant:
+        Tenant namespace; streams of different tenants never collide.
+    reconnect_attempts, reconnect_delay:
+        How long a lost connection is retried before giving up:
+        ``reconnect_attempts`` dials ``reconnect_delay`` seconds apart
+        (generous defaults ride out a server restart with
+        ``--recover``).
+    push_items:
+        Maximum items per PUSH frame; larger chunks are split and
+        pipelined inside the server's credit window.
+    """
+
+    def __init__(self, host: str, port: int, *, tenant: str = "default",
+                 reconnect_attempts: int = 40,
+                 reconnect_delay: float = 0.25,
+                 push_items: int = 4096,
+                 max_frame_bytes: int = protocol.MAX_FRAME_BYTES) -> None:
+        self._host = host
+        self._port = int(port)
+        self._tenant = tenant
+        self._attempts = max(1, int(reconnect_attempts))
+        self._delay = float(reconnect_delay)
+        self._push_items = max(1, int(push_items))
+        self._max_frame_bytes = int(max_frame_bytes)
+        self._reader: "asyncio.StreamReader | None" = None
+        self._writer: "asyncio.StreamWriter | None" = None
+        self._lock = asyncio.Lock()
+        self._sessions: "dict[str, AsyncRemoteSession]" = {}
+        self._credits: "dict[str, int]" = {}
+        self.server_credits: "int | None" = None
+        self.reconnects = 0
+
+    async def __aenter__(self) -> "AsyncRemoteClient":
+        """Connect on entry."""
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        """Say goodbye and close on exit."""
+        await self.close()
+
+    # -- connection management ------------------------------------------
+    async def connect(self) -> None:
+        """Dial the server and complete the HELLO handshake."""
+        async with self._lock:
+            if self._writer is None:
+                await self._dial()
+
+    async def close(self) -> None:
+        """Send BYE (best effort) and drop the connection."""
+        async with self._lock:
+            if self._writer is None:
+                return
+            try:
+                await self._send({"type": "bye"})
+                await protocol.read_frame(self._reader,
+                                          max_bytes=self._max_frame_bytes)
+            except _CONNECTION_ERRORS + (RemoteError,):
+                pass
+            await self._drop_transport()
+
+    async def _drop_transport(self) -> None:
+        if self._writer is not None:
+            try:
+                self._writer.close()
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        self._reader = self._writer = None
+
+    async def _dial(self) -> None:
+        """One connection attempt cycle: dial, handshake, resume streams."""
+        last_error: "Exception | None" = None
+        # The full retry budget exists to ride out a server restart
+        # without losing stream state; with no sessions yet there is no
+        # state to protect, so an unreachable server fails fast.
+        attempts = self._attempts if self._sessions \
+            else min(self._attempts, 4)
+        for attempt in range(attempts):
+            if attempt:
+                await asyncio.sleep(self._delay)
+            try:
+                self._reader, self._writer = await asyncio.open_connection(
+                    self._host, self._port)
+                await self._send({"type": "hello",
+                                  "version": protocol.PROTOCOL_VERSION,
+                                  "tenant": self._tenant})
+                hello = await self._expect("hello")
+                self.server_credits = hello.get("credits", 1)
+                await self._resume_sessions()
+                return
+            except _CONNECTION_ERRORS as exc:
+                last_error = exc
+                await self._drop_transport()
+        raise RemoteError(
+            "unreachable",
+            f"cannot reach {self._host}:{self._port} after "
+            f"{attempts} attempts: {last_error}")
+
+    async def _reconnect(self) -> None:
+        self.reconnects += 1
+        await self._drop_transport()
+        await self._dial()
+
+    async def _resume_sessions(self) -> None:
+        """Re-open every live stream and replay its unseen suffix."""
+        for session in self._sessions.values():
+            offsets = await self._open(session, resume=True)
+            replay = session._retained_suffix(offsets["items_in"])
+            for piece in _split(replay, self._push_items):
+                # Replay sequentially (credit-safe); novel outputs land
+                # in the session's pending buffer for its next feed().
+                frame = await self._push_one(session, piece)
+                session._accept_output(
+                    protocol.decode_array(frame["values"],
+                                          source="result"))
+
+    async def _open(self, session: AsyncRemoteSession,
+                    resume: bool) -> dict:
+        frame = dict(session._open_fields)
+        frame.update({"type": "open", "stream_id": session.stream_id,
+                      "kind": session.kind,
+                      "key": protocol.encode_key(session._key),
+                      "delivered": session._delivered})
+        if resume:
+            frame["resume"] = True
+        # Stale credits from a previous connection epoch are void; the
+        # server re-grants via a CREDIT frame right after its result.
+        self._credits[session.stream_id] = 0
+        await self._send(frame)
+        result = await self._expect("result", op="open",
+                                    stream_id=session.stream_id)
+        if "values" in result:
+            # Redelivery of outputs we never acknowledged (e.g. a
+            # result frame lost to a crash): they start exactly at our
+            # delivery watermark, so everything is novel.
+            replay = protocol.decode_array(result["values"],
+                                           source="result")
+            session._delivered += replay.size
+            if replay.size:
+                session._pending.append(replay)
+        session._server_pos = result["items_out"]
+        return result
+
+    # -- framed exchanges ------------------------------------------------
+    async def _send(self, frame: dict) -> None:
+        if self._writer is None:
+            raise ConnectionResetError("not connected")
+        await protocol.write_frame(self._writer, frame,
+                                   max_bytes=self._max_frame_bytes)
+
+    async def _read(self) -> dict:
+        """Read one frame; apply CREDIT grants, raise ERROR / BYE.
+
+        CREDIT frames are returned (already applied) so callers waiting
+        on the credit window can notice them; ERROR frames become
+        :class:`RemoteError`, BYE and EOF become a lost connection.
+        """
+        frame = await protocol.read_frame(
+            self._reader, max_bytes=self._max_frame_bytes)
+        if frame is None:
+            raise ConnectionResetError("server closed the connection")
+        if frame["type"] == "credit":
+            stream_id = frame["stream_id"]
+            self._credits[stream_id] = \
+                self._credits.get(stream_id, 0) + frame["credits"]
+            return frame
+        if frame["type"] == "error":
+            raise RemoteError(frame["code"], frame["message"])
+        if frame["type"] == "bye":
+            # The server is draining (or answering our goodbye): treat
+            # as a lost connection; resume logic takes over.
+            raise ConnectionResetError("server said bye")
+        return frame
+
+    async def _expect(self, frame_type: str, **fields) -> dict:
+        """Read past credit frames until the expected frame arrives."""
+        while True:
+            frame = await self._read()
+            if frame["type"] == "credit":
+                continue
+            if frame["type"] != frame_type or any(
+                    frame.get(name) != value
+                    for name, value in fields.items()):
+                raise ProtocolError(
+                    f"expected {frame_type} {fields or ''}, got {frame}")
+            return frame
+
+    async def _await_credit(self, stream_id: str) -> None:
+        """Block until the stream has at least one push credit."""
+        while self._credits.get(stream_id, 0) <= 0:
+            frame = await self._read()
+            if frame["type"] != "credit":
+                raise ProtocolError(
+                    f"expected a credit frame, got {frame}")
+
+    def _push_frame(self, session: AsyncRemoteSession,
+                    piece: np.ndarray) -> "tuple[dict, int]":
+        seq = session._seq
+        session._seq += 1
+        return ({"type": "push", "stream_id": session.stream_id,
+                 "seq": seq, "delivered": session._delivered,
+                 "values": protocol.encode_array(piece)}, seq)
+
+    async def _push_one(self, session: AsyncRemoteSession,
+                        piece: np.ndarray) -> dict:
+        """One PUSH/RESULT round-trip honouring the credit window."""
+        stream_id = session.stream_id
+        await self._await_credit(stream_id)
+        self._credits[stream_id] -= 1
+        frame, seq = self._push_frame(session, piece)
+        await self._send(frame)
+        return await self._expect("result", op="push", stream_id=stream_id,
+                                  seq=seq)
+
+    async def _pipeline(self, session: AsyncRemoteSession,
+                        pieces: "list[np.ndarray]") -> None:
+        """Push pieces keeping up to the credit window in flight.
+
+        Sends whenever a credit is available, otherwise reads — so the
+        server's grant, not client buffering, paces the stream
+        (gabriel-style flow control).  Results arrive in push order on
+        the single connection; their novel outputs accumulate in the
+        session's pending buffer (crash-safe, drained by the caller).
+        """
+        stream_id = session.stream_id
+        queue = deque(pieces)
+        expected: "deque[int]" = deque()
+        while queue or expected:
+            if queue and self._credits.get(stream_id, 0) > 0:
+                self._credits[stream_id] -= 1
+                frame, seq = self._push_frame(session, queue.popleft())
+                await self._send(frame)
+                expected.append(seq)
+                continue
+            frame = await self._read()
+            if frame["type"] == "credit":
+                continue
+            if frame["type"] != "result" or frame.get("op") != "push" \
+                    or frame.get("stream_id") != stream_id \
+                    or not expected or frame.get("seq") != expected[0]:
+                raise ProtocolError(
+                    f"expected push result seq "
+                    f"{expected[0] if expected else '?'}, got {frame}")
+            expected.popleft()
+            session._accept_output(
+                protocol.decode_array(frame["values"], source="result"))
+
+    # -- session operations (called by AsyncRemoteSession) ---------------
+    async def _register(self, stream_id: str, kind: str, key,
+                        open_fields: dict) -> AsyncRemoteSession:
+        if stream_id in self._sessions:
+            raise RemoteError(
+                "exists", f"stream {stream_id!r} is already open on this "
+                          "client")
+        session = AsyncRemoteSession(self, stream_id, kind,
+                                     key if isinstance(key, bytes)
+                                     else str(key).encode("utf-8"),
+                                     open_fields)
+        async with self._lock:
+            if self._writer is None:
+                await self._dial()
+            try:
+                await self._open(session, resume=False)
+            except _CONNECTION_ERRORS:
+                # One transparent retry on a fresh transport — with
+                # resume: the first OPEN may have reached the server
+                # before the drop, and the server falls through to a
+                # fresh registration when the stream exists nowhere.
+                await self._reconnect()
+                await self._open(session, resume=True)
+            self._sessions[stream_id] = session
+        return session
+
+    async def _feed(self, session: AsyncRemoteSession,
+                    array: np.ndarray) -> np.ndarray:
+        async with self._lock:
+            if self._writer is None:
+                await self._dial()
+            try:
+                await self._pipeline(session,
+                                     _split(array, self._push_items))
+            except _CONNECTION_ERRORS:
+                # The transport died with pieces outstanding.  The
+                # retained buffer already covers every item of this
+                # feed, so reconnect + resume replays them; novel
+                # outputs (including any received before the drop) are
+                # already in the pending buffer.
+                await self._reconnect()
+            return _concat(session._take_pending())
+
+    async def _finish(self, session: AsyncRemoteSession) -> np.ndarray:
+        async with self._lock:
+            if self._writer is None:
+                await self._dial()
+            while True:
+                try:
+                    await self._send({"type": "flush",
+                                      "stream_id": session.stream_id,
+                                      "delivered": session._delivered})
+                    frame = await self._expect("result", op="flush",
+                                               stream_id=session.stream_id)
+                    break
+                except _CONNECTION_ERRORS:
+                    await self._reconnect()
+            session._accept_output(
+                protocol.decode_array(frame["values"], source="result"))
+            if "detection" in frame:
+                session._detection = frame["detection"]
+            session._finished = True
+            self._sessions.pop(session.stream_id, None)
+            self._credits.pop(session.stream_id, None)
+            return _concat(session._take_pending())
+
+    # -- factories -------------------------------------------------------
+    async def protect(self, stream_id: str, watermark, key, *,
+                      params=None, encoding: str = "multihash",
+                      encoding_options: "dict | None" = None,
+                      require_labels: bool = True) -> AsyncRemoteSession:
+        """Open a remote embedding stream (mirrors ``StreamHub.protect``)."""
+        fields = {"watermark": str(watermark),
+                  "encoding": encoding,
+                  "require_labels": require_labels}
+        if params is not None:
+            fields["params"] = params_to_dict(params)
+        if encoding_options:
+            fields["encoding_options"] = dict(encoding_options)
+        return await self._register(stream_id, "protection", key, fields)
+
+    async def detect(self, stream_id: str, wm_length: int, key, *,
+                     params=None, encoding: str = "multihash",
+                     encoding_options: "dict | None" = None,
+                     transform_degree: float = 1.0,
+                     require_labels: bool = True) -> AsyncRemoteSession:
+        """Open a remote detection stream (mirrors ``StreamHub.detect``)."""
+        fields = {"wm_length": int(wm_length),
+                  "encoding": encoding,
+                  "transform_degree": float(transform_degree),
+                  "require_labels": require_labels}
+        if params is not None:
+            fields["params"] = params_to_dict(params)
+        if encoding_options:
+            fields["encoding_options"] = dict(encoding_options)
+        return await self._register(stream_id, "detection", key, fields)
+
+
+# ----------------------------------------------------------------------
+# synchronous wrapper
+# ----------------------------------------------------------------------
+class RemoteSession:
+    """Synchronous view of an :class:`AsyncRemoteSession`.
+
+    Mirrors the :class:`~repro.pipeline.ProtectionSession` /
+    :class:`~repro.pipeline.DetectionSession` API (``feed`` /
+    ``finish`` / ``result`` / ``items_ingested``), so in-process code
+    ports to the network by swapping constructors.
+    """
+
+    def __init__(self, client: "RemoteClient",
+                 session: AsyncRemoteSession) -> None:
+        self._client = client
+        self._session = session
+
+    @property
+    def stream_id(self) -> str:
+        """The stream's id on the server."""
+        return self._session.stream_id
+
+    @property
+    def kind(self) -> str:
+        """``"protection"`` or ``"detection"``."""
+        return self._session.kind
+
+    @property
+    def items_ingested(self) -> int:
+        """Items fed into this session so far."""
+        return self._session.items_ingested
+
+    @property
+    def finished(self) -> bool:
+        """Whether :meth:`finish` has completed."""
+        return self._session.finished
+
+    def feed(self, chunk) -> np.ndarray:
+        """Push one chunk; return the (novel) output items released."""
+        return self._client._call(self._session.feed(chunk))
+
+    def finish(self) -> np.ndarray:
+        """End the stream; return the remaining output items."""
+        return self._client._call(self._session.finish())
+
+    def result(self) -> DetectionResult:
+        """The reconstructed detection evidence (after :meth:`finish`)."""
+        return self._session.result()
+
+
+class RemoteClient:
+    """Synchronous client: an :class:`AsyncRemoteClient` on a thread.
+
+    Owns a private event loop on a daemon thread and proxies every
+    operation onto it, so scripts, the CLI and tests drive remote
+    sessions without touching asyncio.  Accepts the same constructor
+    arguments as :class:`AsyncRemoteClient` and works as a context
+    manager.
+    """
+
+    def __init__(self, host: str, port: int, **options) -> None:
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(target=self._loop.run_forever,
+                                        name="repro-remote-client",
+                                        daemon=True)
+        self._thread.start()
+        self._async = AsyncRemoteClient(host, port, **options)
+        try:
+            self._call(self._async.connect())
+        except BaseException:
+            # A failed connect must not leak the loop thread (callers
+            # retrying construction would accumulate one per attempt).
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=5)
+            self._loop.close()
+            raise
+
+    def _call(self, coroutine):
+        """Run one coroutine on the client loop and wait for it."""
+        return asyncio.run_coroutine_threadsafe(
+            coroutine, self._loop).result()
+
+    def __enter__(self) -> "RemoteClient":
+        """Already connected; context entry is a no-op."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Close the connection and stop the private loop."""
+        self.close()
+
+    @property
+    def reconnects(self) -> int:
+        """How many times the transport was re-established."""
+        return self._async.reconnects
+
+    def protect(self, stream_id: str, watermark, key,
+                **options) -> RemoteSession:
+        """Open a remote embedding stream (see ``AsyncRemoteClient``)."""
+        return RemoteSession(self, self._call(
+            self._async.protect(stream_id, watermark, key, **options)))
+
+    def detect(self, stream_id: str, wm_length: int, key,
+               **options) -> RemoteSession:
+        """Open a remote detection stream (see ``AsyncRemoteClient``)."""
+        return RemoteSession(self, self._call(
+            self._async.detect(stream_id, wm_length, key, **options)))
+
+    def close(self) -> None:
+        """Say goodbye, close the transport and stop the loop thread."""
+        if self._loop.is_closed():
+            return
+        try:
+            self._call(self._async.close())
+        finally:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=5)
+            self._loop.close()
+
+
+def _split(array: np.ndarray, size: int) -> "list[np.ndarray]":
+    """Cut one array into pieces of at most ``size`` items."""
+    if array.size == 0:
+        return []
+    return [array[start:start + size]
+            for start in range(0, array.size, size)]
+
+
+def _concat(pieces: "list[np.ndarray]") -> np.ndarray:
+    """Concatenate released pieces (empty-safe)."""
+    pieces = [piece for piece in pieces if piece.size]
+    if not pieces:
+        return _EMPTY
+    return np.concatenate(pieces)

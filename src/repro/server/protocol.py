@@ -1,0 +1,338 @@
+"""Wire protocol: versioned, length-prefixed JSON frames over TCP.
+
+Every message on a ``repro.server`` connection is one **frame**: a
+4-byte big-endian unsigned length prefix followed by that many bytes of
+UTF-8 JSON encoding a single object.  The object's ``type`` field names
+one of eight frame types:
+
+========  =========  =====================================================
+type      direction  meaning
+========  =========  =====================================================
+hello     both       version/tenant negotiation; the server's reply
+                     carries the per-stream credit grant
+open      c -> s     register (or resume) one keyed stream
+push      c -> s     one chunk of stream values; consumes one credit
+flush     c -> s     end-of-stream: drain the window, report evidence
+result    s -> c     response to open/push/flush (values, offsets, votes)
+credit    s -> c     flow control: returns credits for a stream
+error     s -> c     a request failed (code + message, stream if known)
+bye       both       orderly goodbye; the server's drain notice
+========  =========  =====================================================
+
+Numeric payloads travel as base64-encoded little-endian float64 bytes
+(:func:`encode_array` / :func:`decode_array`), so values round-trip
+**bit-identically** — the whole point of the library.
+
+Client-to-server frames (``open``/``push``/``flush``) may carry a
+``delivered`` field: the count of output items the client has safely
+received for that stream.  It is the acknowledgement that lets the
+server prune its bounded output-replay buffer and re-send exactly the
+unacknowledged output range on resume (exactly-once delivery even when
+a result frame is lost to a crash; see :mod:`repro.server.service`).
+
+Decoding is strict: unknown frame types, missing or unknown fields,
+wrong field types, negative counters, truncated or oversized frames and
+undecodable payloads all raise :class:`repro.errors.ProtocolError` —
+never a raw ``KeyError`` from frame plumbing, and never a silently
+half-understood frame (fuzzed in ``tests/unit/test_protocol.py``,
+mirroring the checkpoint deserialization contract).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import binascii
+import json
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ProtocolError
+
+#: Protocol version spoken by this library; HELLO frames carry it and
+#: mismatches are rejected during the handshake.
+PROTOCOL_VERSION = 1
+
+#: Default upper bound on one frame's JSON body, in bytes.  At 8 MiB a
+#: frame holds ~780k float64 items after base64 — far beyond a sane
+#: chunk — so anything larger is a corrupt or hostile length prefix.
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+#: Per-frame-type field contract: (required, optional).  Unknown fields
+#: are rejected — a field this library does not understand would
+#: otherwise be dropped silently (same strictness as checkpoints).
+_FRAME_FIELDS = {
+    "hello": (frozenset({"type", "version"}),
+              frozenset({"tenant", "server", "credits"})),
+    "open": (frozenset({"type", "stream_id", "kind", "key"}),
+             frozenset({"watermark", "wm_length", "params", "encoding",
+                        "encoding_options", "require_labels",
+                        "transform_degree", "resume", "delivered"})),
+    "push": (frozenset({"type", "stream_id", "seq", "values"}),
+             frozenset({"delivered"})),
+    "flush": (frozenset({"type", "stream_id"}),
+              frozenset({"delivered"})),
+    "result": (frozenset({"type", "op", "stream_id"}),
+               frozenset({"seq", "values", "items_in", "items_out",
+                          "finished", "detection"})),
+    "credit": (frozenset({"type", "stream_id", "credits"}), frozenset()),
+    "error": (frozenset({"type", "code", "message"}),
+              frozenset({"stream_id"})),
+    "bye": (frozenset({"type"}), frozenset({"reason"})),
+}
+
+#: Expected Python type per field (bools are not ints here).
+_FIELD_TYPES = {
+    "type": str,
+    "version": int,
+    "tenant": str,
+    "server": str,
+    "credits": int,
+    "stream_id": str,
+    "kind": str,
+    "key": str,
+    "watermark": str,
+    "wm_length": int,
+    "params": dict,
+    "encoding": str,
+    "encoding_options": dict,
+    "require_labels": bool,
+    "transform_degree": (int, float),
+    "resume": bool,
+    "seq": int,
+    "delivered": int,
+    "values": str,
+    "op": str,
+    "items_in": int,
+    "items_out": int,
+    "finished": bool,
+    "detection": dict,
+    "code": str,
+    "message": str,
+    "reason": str,
+}
+
+#: Integer fields that must be non-negative.
+_NON_NEGATIVE = frozenset({"version", "credits", "seq", "wm_length",
+                           "items_in", "items_out", "delivered"})
+
+#: Fields that must be non-empty strings.
+_NON_EMPTY = frozenset({"type", "stream_id", "kind", "op", "code"})
+
+
+def validate_frame(frame, *, source: str = "frame") -> dict:
+    """Check one decoded frame object; raise :class:`ProtocolError` if bad.
+
+    ``source`` names where the frame came from (a peer address, "encode")
+    so error messages point at the offending side.  Returns the frame
+    unchanged on success.
+    """
+    if not isinstance(frame, dict):
+        raise ProtocolError(
+            f"{source}: frame must be a JSON object, "
+            f"got {type(frame).__name__}"
+        )
+    frame_type = frame.get("type")
+    if not isinstance(frame_type, str) or frame_type not in _FRAME_FIELDS:
+        raise ProtocolError(
+            f"{source}: unknown frame type {frame_type!r}; expected one "
+            f"of {sorted(_FRAME_FIELDS)}"
+        )
+    required, optional = _FRAME_FIELDS[frame_type]
+    unknown = set(frame) - required - optional
+    if unknown:
+        raise ProtocolError(
+            f"{source}: unknown fields {sorted(unknown)} in "
+            f"{frame_type!r} frame"
+        )
+    missing = required - set(frame)
+    if missing:
+        raise ProtocolError(
+            f"{source}: {frame_type!r} frame is missing required fields "
+            f"{sorted(missing)}"
+        )
+    for name, value in frame.items():
+        expected = _FIELD_TYPES[name]
+        # JSON has distinct true/int, but Python bool *is* int — reject
+        # booleans wherever an integer is expected (and vice versa).
+        if isinstance(value, bool) and expected is not bool:
+            raise ProtocolError(
+                f"{source}: field {name!r} must be "
+                f"{getattr(expected, '__name__', expected)}, got bool"
+            )
+        if not isinstance(value, expected):
+            expected_name = (expected.__name__ if isinstance(expected, type)
+                             else "number")
+            raise ProtocolError(
+                f"{source}: field {name!r} must be {expected_name}, got "
+                f"{type(value).__name__}"
+            )
+        if name in _NON_NEGATIVE and value < 0:
+            raise ProtocolError(
+                f"{source}: field {name!r} must be >= 0, got {value}"
+            )
+        if name in _NON_EMPTY and not value:
+            raise ProtocolError(
+                f"{source}: field {name!r} must be a non-empty string"
+            )
+    return frame
+
+
+def encode_frame(frame: dict, *, max_bytes: int = MAX_FRAME_BYTES) -> bytes:
+    """Serialize one validated frame to its length-prefixed wire form."""
+    validate_frame(frame, source="encode")
+    try:
+        body = json.dumps(frame, separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"frame is not JSON-serializable: {exc}") from exc
+    if len(body) > max_bytes:
+        raise ProtocolError(
+            f"frame of {len(body)} bytes exceeds the {max_bytes}-byte "
+            "frame limit; push smaller chunks"
+        )
+    return _HEADER.pack(len(body)) + body
+
+
+def decode_frame(body: bytes, *, source: str = "frame") -> dict:
+    """Decode and validate one frame body (the bytes after the prefix)."""
+    try:
+        decoded = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(
+            f"{source}: frame body is not valid UTF-8 JSON "
+            f"(truncated or corrupt?): {exc}"
+        ) from exc
+    return validate_frame(decoded, source=source)
+
+
+@dataclass
+class FrameDecoder:
+    """Incremental (sans-IO) frame decoder for arbitrary byte arrivals.
+
+    Feed raw bytes in any fragmentation; complete frames come out
+    validated.  The decoder enforces the frame-size limit *from the
+    length prefix alone*, so an oversized or hostile prefix is rejected
+    before any buffering of its body.  Used by the fuzz tests and by
+    any sync transport.
+    """
+
+    max_bytes: int = MAX_FRAME_BYTES
+    _buffer: bytes = b""
+
+    def feed(self, data: bytes) -> "list[dict]":
+        """Consume ``data``; return every frame completed by it."""
+        self._buffer += bytes(data)
+        frames = []
+        while True:
+            if len(self._buffer) < _HEADER.size:
+                return frames
+            (length,) = _HEADER.unpack_from(self._buffer)
+            if length > self.max_bytes:
+                raise ProtocolError(
+                    f"frame length prefix {length} exceeds the "
+                    f"{self.max_bytes}-byte frame limit (corrupt stream?)"
+                )
+            if len(self._buffer) < _HEADER.size + length:
+                return frames
+            body = self._buffer[_HEADER.size:_HEADER.size + length]
+            self._buffer = self._buffer[_HEADER.size + length:]
+            frames.append(decode_frame(body))
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered toward an incomplete frame (0 at a boundary)."""
+        return len(self._buffer)
+
+
+async def read_frame(reader: asyncio.StreamReader, *,
+                     max_bytes: int = MAX_FRAME_BYTES) -> "dict | None":
+    """Read one frame from an asyncio stream; ``None`` on clean EOF.
+
+    EOF *inside* a frame (mid-prefix or mid-body) raises
+    :class:`ProtocolError` — the peer died mid-sentence, which callers
+    must treat as a lost connection, not a clean goodbye.
+    """
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError(
+            "connection closed mid-frame (inside the length prefix)"
+        ) from exc
+    (length,) = _HEADER.unpack(header)
+    if length > max_bytes:
+        raise ProtocolError(
+            f"frame length prefix {length} exceeds the {max_bytes}-byte "
+            "frame limit (corrupt stream?)"
+        )
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError(
+            f"connection closed mid-frame ({len(exc.partial)} of "
+            f"{length} body bytes)"
+        ) from exc
+    return decode_frame(body)
+
+
+async def write_frame(writer: asyncio.StreamWriter, frame: dict, *,
+                      max_bytes: int = MAX_FRAME_BYTES) -> None:
+    """Validate, serialize and send one frame, honouring backpressure."""
+    writer.write(encode_frame(frame, max_bytes=max_bytes))
+    await writer.drain()
+
+
+# ----------------------------------------------------------------------
+# payload encoding
+# ----------------------------------------------------------------------
+def encode_array(values) -> str:
+    """Encode a float64 array as base64 text (bit-exact round-trip)."""
+    array = np.asarray(values, dtype="<f8").ravel()
+    return base64.b64encode(array.tobytes()).decode("ascii")
+
+
+def decode_array(text: str, *, source: str = "frame") -> np.ndarray:
+    """Decode :func:`encode_array` text back into a float64 array."""
+    if not isinstance(text, str):
+        raise ProtocolError(
+            f"{source}: values payload must be a base64 string, got "
+            f"{type(text).__name__}"
+        )
+    try:
+        raw = base64.b64decode(text.encode("ascii"), validate=True)
+    except (UnicodeEncodeError, binascii.Error, ValueError) as exc:
+        raise ProtocolError(
+            f"{source}: values payload is not valid base64: {exc}"
+        ) from exc
+    if len(raw) % 8:
+        raise ProtocolError(
+            f"{source}: values payload of {len(raw)} bytes is not a "
+            "whole number of float64 items (truncated?)"
+        )
+    return np.frombuffer(raw, dtype="<f8").astype(np.float64)
+
+
+def encode_key(key: bytes) -> str:
+    """Encode secret key bytes for the OPEN frame (transport only —
+    the server holds keys in memory and never persists them)."""
+    if isinstance(key, str):
+        key = key.encode("utf-8")
+    return base64.b64encode(bytes(key)).decode("ascii")
+
+
+def decode_key(text: str, *, source: str = "frame") -> bytes:
+    """Decode an OPEN frame's key field back into key bytes."""
+    try:
+        key = base64.b64decode(str(text).encode("ascii"), validate=True)
+    except (UnicodeEncodeError, binascii.Error, ValueError) as exc:
+        raise ProtocolError(
+            f"{source}: key is not valid base64: {exc}"
+        ) from exc
+    if not key:
+        raise ProtocolError(f"{source}: key must not be empty")
+    return key

@@ -1,0 +1,731 @@
+"""Asyncio TCP service: many tenants, many streams, one endpoint.
+
+:class:`StreamService` is the deployable face of the library — the
+SecureStreams / Gabriel middleware shape: one server multiplexes many
+stream sources behind one TCP endpoint, each tenant namespace backed by
+its own :class:`~repro.hub.StreamHub` and
+:class:`~repro.stores.CheckpointStore`.
+
+Design points:
+
+* **credit-based flow control** — the server grants each opened stream
+  ``credits`` outstanding PUSH frames (the HELLO reply announces the
+  grant); every processed PUSH returns its credit via a CREDIT frame.
+  A client that pushes beyond its credit gets a ``flow`` ERROR and the
+  frame is dropped — backpressure instead of unbounded buffering.
+* **durability** — sessions checkpoint on a per-stream push cadence
+  (``checkpoint_every``), on an optional wall-clock interval, when a
+  connection ends, and during drain.  Keys arrive in OPEN frames and
+  live only in process memory.
+* **exactly-once outputs** — result payloads a client has not yet
+  acknowledged (the ``delivered`` field on its frames) are kept in a
+  bounded per-stream replay buffer, persisted in a sidecar entry
+  *before* every session checkpoint (via the hub's checkpoint hook).
+  On resume the server re-sends exactly the unacknowledged output
+  range, so a result frame lost to a dropped connection — or to a
+  SIGKILL between a checkpoint and the client's read — is redelivered
+  rather than lost, and the client's dedup line drops any overlap.
+* **graceful drain** — on SIGTERM (``repro serve`` installs the
+  handler) the service checkpoints every stream, notifies each
+  connected client with ``BYE {reason: "drain"}``, closes, and the CLI
+  exits 0.
+* **crash recovery** — started with ``recover=True`` over an existing
+  store, the service re-admits each checkpointed stream lazily when its
+  client reconnects and re-supplies the key (checkpoints are key-free,
+  so eager recovery is impossible by design); OPEN's RESULT reports
+  ``items_in``/``items_out`` so the client replays exactly the
+  unseen suffix.  Finished streams are dropped from hub *and* store
+  after their FLUSH result is sent, so a long-lived server does not
+  leak (see :meth:`repro.hub.StreamHub.drop`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+from collections import deque
+from pathlib import Path
+from urllib.parse import quote, unquote
+
+import numpy as np
+
+from repro.core.params import WatermarkParams
+from repro.core.serialize import params_from_dict
+from repro.errors import ProtocolError, ReproError
+from repro.hub import StreamHub
+from repro.server import protocol
+from repro.stores import build_store
+
+#: Default per-stream credit grant (outstanding PUSH frames).
+DEFAULT_CREDITS = 4
+
+
+def _key_fingerprint(tenant: str, stream_id: str, key: bytes) -> str:
+    """One-way fingerprint binding a key to one stream of one tenant.
+
+    Persisted in the replay sidecar so a ``--recover`` restart can
+    refuse a resume under the wrong key (which would silently corrupt
+    the watermark and lock out the owner).  The key itself is never
+    stored; the domain-separated hash resists cross-stream correlation.
+    """
+    digest = hashlib.sha256()
+    for part in (b"repro.server.keyfp", tenant.encode("utf-8"),
+                 stream_id.encode("utf-8"), bytes(key)):
+        digest.update(len(part).to_bytes(4, "big"))
+        digest.update(part)
+    return digest.hexdigest()
+
+
+class _Connection:
+    """Per-connection state: tenant binding, owned streams, credits."""
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.tenant: "str | None" = None
+        self.hub: "StreamHub | None" = None
+        #: stream_id -> remaining PUSH credits on this connection.
+        self.credits: "dict[str, int]" = {}
+        peer = writer.get_extra_info("peername")
+        self.name = f"{peer[0]}:{peer[1]}" if peer else "client"
+
+    async def send(self, frame: dict) -> None:
+        """Validate and write one frame to this client."""
+        await protocol.write_frame(self.writer, frame)
+
+    async def close(self) -> None:
+        """Close the transport, swallowing teardown races."""
+        try:
+            self.writer.close()
+            await self.writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+class StreamService:
+    """Serve :class:`~repro.hub.StreamHub` tenants over framed TCP.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address.  Port 0 picks a free port; read it back from
+        :attr:`address` after :meth:`start`.
+    store_path:
+        Root directory for durable per-tenant stores (each tenant gets
+        ``store_path/<quoted-tenant>``).  ``None`` keeps checkpoints in
+        per-tenant memory stores (no durability, still drains cleanly).
+    store_backend:
+        Registered store name (``repro list``) used when ``store_path``
+        is given; default ``"directory"``.
+    credits:
+        PUSH frames a client may have outstanding per stream.
+    checkpoint_every:
+        Hub checkpoint cadence (every N pushes per stream).
+    checkpoint_interval:
+        Optional wall-clock seconds between checkpoint-all sweeps.
+    max_live_sessions:
+        Per-tenant LRU residency cap (see :class:`StreamHub`).
+    recover:
+        Allow starting over a non-empty store and resuming its streams.
+        Without it a non-empty store is refused, so a stale directory
+        cannot be silently adopted.
+    """
+
+    def __init__(self, *, host: str = "127.0.0.1", port: int = 0,
+                 store_path: "str | Path | None" = None,
+                 store_backend: str = "directory",
+                 credits: int = DEFAULT_CREDITS,
+                 checkpoint_every: int = 1,
+                 checkpoint_interval: "float | None" = None,
+                 max_live_sessions: "int | None" = None,
+                 recover: bool = False,
+                 max_frame_bytes: int = protocol.MAX_FRAME_BYTES) -> None:
+        if credits < 1:
+            raise ReproError(f"credits must be >= 1, got {credits}")
+        self._host = host
+        self._port = port
+        self._store_path = Path(store_path) if store_path is not None else None
+        self._store_backend = store_backend
+        self._credits = int(credits)
+        self._checkpoint_every = int(checkpoint_every)
+        self._checkpoint_interval = checkpoint_interval
+        self._max_live = max_live_sessions
+        self._recover = recover
+        self._max_frame_bytes = int(max_frame_bytes)
+        self._hubs: "dict[str, StreamHub]" = {}
+        #: tenant -> sidecar store holding each stream's replay buffer.
+        self._meta_stores: "dict[str, object]" = {}
+        #: (tenant, stream_id) -> owning connection, while one is live.
+        self._owners: "dict[tuple[str, str], _Connection]" = {}
+        #: (tenant, stream_id) -> key bytes seen for that stream.
+        self._keys: "dict[tuple[str, str], bytes]" = {}
+        #: (tenant, stream_id) -> deque of (start_pos, values) result
+        #: payloads not yet acknowledged by the client.
+        self._outbuf: "dict[tuple[str, str], deque]" = {}
+        #: (tenant, stream_id) -> output items the client acknowledged.
+        self._acked: "dict[tuple[str, str], int]" = {}
+        #: (tenant, stream_id) -> pushes since registration (cadence).
+        self._push_counts: "dict[tuple[str, str], int]" = {}
+        self._connections: "set[_Connection]" = set()
+        self._server: "asyncio.base_events.Server | None" = None
+        self._drained = asyncio.Event()
+        self._draining = False
+        self._flusher: "asyncio.Task | None" = None
+        self.frames_in = 0
+        self.pushes = 0
+        self.errors = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "tuple[str, int]":
+        """Bind and start accepting; return the bound ``(host, port)``."""
+        if self._store_path is not None and not self._recover:
+            leftover = self.recoverable()
+            if leftover:
+                raise ReproError(
+                    f"store {self._store_path} already holds checkpoints "
+                    f"for {sum(len(v) for v in leftover.values())} "
+                    "stream(s); start with --recover to resume them"
+                )
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._host, self._port)
+        sock = self._server.sockets[0].getsockname()
+        self._host, self._port = sock[0], sock[1]
+        if self._checkpoint_interval:
+            self._flusher = asyncio.create_task(self._checkpoint_loop())
+        return self.address
+
+    @property
+    def address(self) -> "tuple[str, int]":
+        """The bound ``(host, port)`` (final after :meth:`start`)."""
+        return self._host, self._port
+
+    async def serve_until_drained(self) -> None:
+        """Block until :meth:`drain` completes (the CLI's main loop)."""
+        await self._drained.wait()
+
+    async def drain(self, reason: str = "drain") -> None:
+        """Graceful shutdown: checkpoint all, notify clients, stop.
+
+        Safe to call more than once; later calls wait for the first.
+        """
+        if self._draining:
+            await self._drained.wait()
+            return
+        self._draining = True
+        try:
+            if self._flusher is not None:
+                self._flusher.cancel()
+            if self._server is not None:
+                self._server.close()
+            try:
+                self.checkpoint_all()
+            except ReproError:
+                # A failing store (full disk, ...) must not leave the
+                # server unkillable: clients are still notified and the
+                # listener still closes.  Cadence checkpoints are the
+                # durability backstop.
+                self.errors += 1
+            for connection in list(self._connections):
+                try:
+                    await connection.send({"type": "bye",
+                                           "reason": reason})
+                except (ConnectionError, OSError, ProtocolError):
+                    pass
+                await connection.close()
+            if self._server is not None:
+                await self._server.wait_closed()
+        finally:
+            self._drained.set()
+
+    def checkpoint_all(self) -> "dict[str, dict[str, int]]":
+        """Checkpoint every stream of every tenant hub now."""
+        return {tenant: hub.checkpoint_all()
+                for tenant, hub in self._hubs.items()}
+
+    def recoverable(self) -> "dict[str, list[str]]":
+        """Checkpointed stream ids per tenant found under the store root.
+
+        Tenant discovery assumes the directory layout this service
+        writes (one subdirectory per tenant); the ids inside each are
+        read through the configured backend's own :meth:`ids`, not by
+        re-parsing file names here.
+        """
+        found: "dict[str, list[str]]" = {}
+        if self._store_path is None or not self._store_path.is_dir():
+            return found
+        for entry in sorted(self._store_path.iterdir()):
+            if not entry.is_dir() or entry.name == "%meta":
+                continue
+            ids = build_store(self._store_backend, entry).ids()
+            if ids:
+                found[unquote(entry.name)] = list(ids)
+        return found
+
+    def hub_for(self, tenant: str) -> StreamHub:
+        """The tenant's hub, created (with its stores) on first use.
+
+        The hub itself runs with ``checkpoint_every=0``: the *service*
+        owns the cadence so checkpoints land only after a push's result
+        has been handed to the transport — never between ingestion and
+        delivery, where a crash would strand released outputs.  The
+        checkpoint hook persists the replay sidecar immediately before
+        every session write (including LRU evictions), so the sidecar
+        is never older than the session state it covers.
+        """
+        hub = self._hubs.get(tenant)
+        if hub is None:
+            if self._store_path is not None:
+                quoted = quote(tenant, safe="")
+                store = build_store(self._store_backend,
+                                    self._store_path / quoted)
+                # Sidecars live under one reserved directory whose name
+                # cannot collide with any quoted tenant: quote() output
+                # contains "%" only in valid %XX escapes, never "%m".
+                meta = build_store(self._store_backend,
+                                   self._store_path / "%meta" / quoted)
+            else:
+                store = build_store("memory")
+                meta = build_store("memory")
+            hub = StreamHub(store=store, checkpoint_every=0,
+                            max_live_sessions=self._max_live,
+                            checkpoint_hook=lambda stream_id, _t=tenant:
+                            self._save_sidecar(_t, stream_id))
+            self._hubs[tenant] = hub
+            self._meta_stores[tenant] = meta
+        return hub
+
+    # ------------------------------------------------------------------
+    # output replay buffer (exactly-once delivery)
+    # ------------------------------------------------------------------
+    def _note_ack(self, claim: "tuple[str, str]", delivered: int) -> None:
+        """Record the client's delivery watermark; prune covered buffers."""
+        acked = max(self._acked.get(claim, 0), int(delivered))
+        self._acked[claim] = acked
+        buffer = self._outbuf.get(claim)
+        while buffer and buffer[0][0] + buffer[0][1].size <= acked:
+            buffer.popleft()
+
+    def _buffer_output(self, claim: "tuple[str, str]", start: int,
+                       values: np.ndarray) -> None:
+        """Retain one result payload until the client acknowledges it."""
+        if values.size:
+            self._outbuf.setdefault(claim, deque()).append(
+                (int(start), values))
+
+    def _replay_slice(self, claim: "tuple[str, str]", delivered: int,
+                      items_out: int) -> "np.ndarray | None":
+        """Outputs in ``[delivered, items_out)`` from the replay buffer.
+
+        ``None`` when nothing is missing.  A gap — outputs released and
+        acknowledged-range pruned, yet not covering the request — means
+        exactly-once delivery is impossible; that must fail loudly,
+        never resume with silent output loss.
+        """
+        if delivered >= items_out:
+            return None
+        pieces = []
+        position = delivered
+        for start, values in self._outbuf.get(claim, ()):
+            end = start + values.size
+            if end <= position:
+                continue
+            if start > position:
+                break
+            pieces.append(values[position - start:])
+            position = end
+        if position < items_out:
+            raise ReproError(
+                f"cannot resume stream {claim[1]!r}: output items "
+                f"[{position}, {items_out}) were released but are no "
+                "longer in the replay buffer (open the stream fresh "
+                "and replay its source instead)"
+            )
+        replay = np.concatenate(pieces)
+        return replay[:items_out - delivered]
+
+    def _save_sidecar(self, tenant: str, stream_id: str) -> None:
+        """Persist the stream's replay buffer + key fingerprint.
+
+        Invoked by the hub's checkpoint hook *before* the session state
+        is written, so after any crash the durable sidecar covers at
+        least every output the durable session state has released.
+        """
+        claim = (tenant, stream_id)
+        key = self._keys.get(claim)
+        entry = {
+            "acked": self._acked.get(claim, 0),
+            "key_fp": (_key_fingerprint(tenant, stream_id, key)
+                       if key is not None else None),
+            "chunks": [[int(start), protocol.encode_array(values)]
+                       for start, values in self._outbuf.get(claim, ())],
+        }
+        self._meta_stores[tenant].save(stream_id, entry)
+
+    def _load_sidecar(self, tenant: str, stream_id: str,
+                      key: bytes) -> None:
+        """Rehydrate the replay buffer after a ``--recover`` restore.
+
+        Verifies the key fingerprint recorded at checkpoint time: a
+        resume under a different key would continue the embedding with
+        a corrupted watermark and lock the owner out.
+        """
+        claim = (tenant, stream_id)
+        meta = self._meta_stores[tenant]
+        if stream_id not in meta:
+            return
+        entry = meta.load(stream_id)
+        recorded = entry.get("key_fp")
+        if recorded is not None \
+                and recorded != _key_fingerprint(tenant, stream_id, key):
+            raise ReproError(
+                f"key mismatch for stream {stream_id!r}; a resumed "
+                "stream must re-supply its original key"
+            )
+        self._acked[claim] = int(entry.get("acked", 0))
+        self._outbuf[claim] = deque(
+            (int(start), protocol.decode_array(values, source="sidecar"))
+            for start, values in entry.get("chunks", ()))
+
+    def _forget_stream(self, claim: "tuple[str, str]") -> None:
+        """Drop all service-side state for a finished/dropped stream."""
+        self._owners.pop(claim, None)
+        self._keys.pop(claim, None)
+        self._outbuf.pop(claim, None)
+        self._acked.pop(claim, None)
+        self._push_counts.pop(claim, None)
+        meta = self._meta_stores.get(claim[0])
+        if meta is not None and claim[1] in meta:
+            meta.delete(claim[1])
+
+    async def _checkpoint_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self._checkpoint_interval)
+            try:
+                self.checkpoint_all()
+            except ReproError:
+                # A single failed sweep (e.g. full disk) must not kill
+                # the server; the next cadence checkpoint retries.
+                self.errors += 1
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        connection = _Connection(reader, writer)
+        self._connections.add(connection)
+        try:
+            if await self._handshake(connection):
+                await self._serve_frames(connection)
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            self._release(connection)
+            self._connections.discard(connection)
+            await connection.close()
+
+    async def _handshake(self, connection: _Connection) -> bool:
+        try:
+            frame = await protocol.read_frame(
+                connection.reader, max_bytes=self._max_frame_bytes)
+        except ProtocolError as exc:
+            await self._send_error(connection, "protocol", str(exc))
+            return False
+        if frame is None:
+            return False
+        if frame["type"] != "hello":
+            await self._send_error(
+                connection, "protocol",
+                f"expected hello, got {frame['type']!r}")
+            return False
+        if frame["version"] != protocol.PROTOCOL_VERSION:
+            await self._send_error(
+                connection, "version",
+                f"server speaks protocol {protocol.PROTOCOL_VERSION}, "
+                f"client sent {frame['version']}")
+            return False
+        connection.tenant = frame.get("tenant", "default")
+        connection.hub = self.hub_for(connection.tenant)
+        from repro import __version__
+        await connection.send({"type": "hello",
+                               "version": protocol.PROTOCOL_VERSION,
+                               "server": f"repro/{__version__}",
+                               "credits": self._credits})
+        return True
+
+    async def _serve_frames(self, connection: _Connection) -> None:
+        handlers = {"open": self._on_open, "push": self._on_push,
+                    "flush": self._on_flush}
+        while not self._draining:
+            try:
+                frame = await protocol.read_frame(
+                    connection.reader, max_bytes=self._max_frame_bytes)
+            except ProtocolError as exc:
+                self.errors += 1
+                await self._send_error(connection, "protocol", str(exc))
+                return
+            if frame is None:
+                return
+            self.frames_in += 1
+            frame_type = frame["type"]
+            if frame_type == "bye":
+                self._release(connection)
+                await connection.send({"type": "bye"})
+                return
+            handler = handlers.get(frame_type)
+            if handler is None:
+                self.errors += 1
+                await self._send_error(
+                    connection, "protocol",
+                    f"clients do not send {frame_type!r} frames")
+                return
+            try:
+                await handler(connection, frame)
+            except ProtocolError as exc:
+                self.errors += 1
+                await self._send_error(connection, "protocol", str(exc),
+                                       stream_id=frame.get("stream_id"))
+                return
+            except ReproError as exc:
+                # Semantic failure (unknown stream, bad params, finished
+                # session, ...): report and keep the connection.
+                self.errors += 1
+                await self._send_error(connection, _error_code(exc),
+                                       str(exc),
+                                       stream_id=frame.get("stream_id"))
+
+    async def _send_error(self, connection: _Connection, code: str,
+                          message: str,
+                          stream_id: "str | None" = None) -> None:
+        frame = {"type": "error", "code": code, "message": message}
+        if stream_id:
+            frame["stream_id"] = stream_id
+        try:
+            await connection.send(frame)
+        except (ConnectionError, OSError):
+            pass
+
+    def _release(self, connection: _Connection) -> None:
+        """Detach the connection's streams, checkpointing live ones."""
+        for (tenant, stream_id), owner in list(self._owners.items()):
+            if owner is not connection:
+                continue
+            del self._owners[(tenant, stream_id)]
+            hub = self._hubs.get(tenant)
+            if hub is not None and stream_id in hub \
+                    and not hub.stats(stream_id)["finished"]:
+                try:
+                    hub.checkpoint(stream_id)
+                except ReproError:
+                    self.errors += 1
+
+    # ------------------------------------------------------------------
+    # frame handlers
+    # ------------------------------------------------------------------
+    async def _on_open(self, connection: _Connection, frame: dict) -> None:
+        hub, tenant = connection.hub, connection.tenant
+        stream_id = frame["stream_id"]
+        claim = (tenant, stream_id)
+        owner = self._owners.get(claim)
+        if owner is not None and owner is not connection:
+            raise ReproError(
+                f"stream {stream_id!r} is already open on another "
+                "connection"
+            )
+        key = protocol.decode_key(frame["key"], source="open")
+        resume = bool(frame.get("resume", False))
+        delivered = int(frame.get("delivered", 0))
+        known_key = self._keys.get(claim)
+        if stream_id in hub:
+            if not resume:
+                raise ReproError(
+                    f"stream {stream_id!r} already exists; reconnects "
+                    "must open with resume=true"
+                )
+            if known_key is not None and known_key != key:
+                raise ReproError(
+                    f"key mismatch for stream {stream_id!r}; a resumed "
+                    "stream must re-supply its original key"
+                )
+        elif resume and stream_id in hub.store:
+            # Fingerprint check precedes the restore so a wrong key
+            # cannot even build the session.
+            self._load_sidecar(tenant, stream_id, key)
+            hub.restore(stream_id, key)
+        else:
+            # Fresh registration — also the resume fallback when the
+            # server lost everything before the first checkpoint (the
+            # client then replays from item 0).  Any stale sidecar or
+            # buffer under this id belongs to a previous life.
+            self._forget_stream(claim)
+            self._register(hub, stream_id, key, frame)
+        self._owners[claim] = connection
+        self._keys[claim] = key
+        connection.credits[stream_id] = self._credits
+        offsets = hub.offsets(stream_id)
+        self._note_ack(claim, delivered)
+        result = {"type": "result", "op": "open", "stream_id": stream_id,
+                  "items_in": offsets["items_in"],
+                  "items_out": offsets["items_out"],
+                  "finished": offsets["finished"]}
+        # Outputs released but never acknowledged are redelivered here;
+        # the client deduplicates against its own delivery counter.
+        replay = self._replay_slice(claim, delivered,
+                                    offsets["items_out"])
+        if replay is not None and replay.size:
+            result["values"] = protocol.encode_array(replay)
+        await connection.send(result)
+        await connection.send({"type": "credit", "stream_id": stream_id,
+                               "credits": self._credits})
+
+    def _register(self, hub: StreamHub, stream_id: str, key: bytes,
+                  frame: dict) -> None:
+        params = WatermarkParams()
+        if frame.get("params"):
+            params = params_from_dict(frame["params"])
+        kwargs = {
+            "params": params,
+            "encoding": frame.get("encoding", "multihash"),
+            "encoding_options": frame.get("encoding_options") or {},
+            "require_labels": bool(frame.get("require_labels", True)),
+        }
+        kind = frame["kind"]
+        if kind == "protection":
+            if "watermark" not in frame:
+                raise ProtocolError(
+                    "open(kind=protection) requires a watermark field")
+            hub.protect(stream_id, frame["watermark"], key, **kwargs)
+        elif kind == "detection":
+            if "wm_length" not in frame:
+                raise ProtocolError(
+                    "open(kind=detection) requires a wm_length field")
+            hub.detect(stream_id, int(frame["wm_length"]), key,
+                       transform_degree=float(
+                           frame.get("transform_degree", 1.0)),
+                       **kwargs)
+        else:
+            raise ProtocolError(
+                f"open kind must be 'protection' or 'detection', "
+                f"got {kind!r}"
+            )
+
+    async def _on_push(self, connection: _Connection, frame: dict) -> None:
+        stream_id = frame["stream_id"]
+        self._check_owned(connection, stream_id)
+        if connection.credits.get(stream_id, 0) <= 0:
+            # Flow-control violation: the frame is dropped, not queued.
+            # (On this serial handler the TCP receive queue is the
+            # physical backpressure; the counter is defense in depth for
+            # concurrent handler variants.)
+            self.errors += 1
+            await self._send_error(
+                connection, "flow",
+                f"no push credits left for stream {stream_id!r}; wait "
+                "for a credit frame", stream_id=stream_id)
+            return
+        claim = (connection.tenant, stream_id)
+        self._note_ack(claim, int(frame.get("delivered", 0)))
+        values = protocol.decode_array(frame["values"], source="push")
+        connection.credits[stream_id] -= 1
+        try:
+            out = connection.hub.push(stream_id, values)
+        except ReproError:
+            # A semantically failed push (finished session, quality
+            # rollback, ...) must still hand its credit back, or the
+            # window shrinks permanently and the stream deadlocks.
+            connection.credits[stream_id] += 1
+            await connection.send({"type": "credit",
+                                   "stream_id": stream_id, "credits": 1})
+            raise
+        self.pushes += 1
+        offsets = connection.hub.offsets(stream_id)
+        # Buffer before sending: if the transport dies mid-send, the
+        # release-time checkpoint persists these outputs for redelivery.
+        self._buffer_output(claim, offsets["items_out"] - out.size, out)
+        await connection.send({"type": "result", "op": "push",
+                               "stream_id": stream_id, "seq": frame["seq"],
+                               "values": protocol.encode_array(out),
+                               "items_in": offsets["items_in"],
+                               "items_out": offsets["items_out"]})
+        connection.credits[stream_id] += 1
+        await connection.send({"type": "credit", "stream_id": stream_id,
+                               "credits": 1})
+        # The service owns the checkpoint cadence, *after* the result
+        # reached the transport — a checkpoint between ingestion and
+        # delivery would strand the released outputs on a crash.
+        self._push_counts[claim] = self._push_counts.get(claim, 0) + 1
+        if self._checkpoint_every \
+                and self._push_counts[claim] % self._checkpoint_every == 0:
+            connection.hub.checkpoint(stream_id)
+
+    async def _on_flush(self, connection: _Connection, frame: dict) -> None:
+        hub = connection.hub
+        stream_id = frame["stream_id"]
+        self._check_owned(connection, stream_id)
+        claim = (connection.tenant, stream_id)
+        self._note_ack(claim, int(frame.get("delivered", 0)))
+        stats = hub.stats(stream_id)
+        result = {"type": "result", "op": "flush", "stream_id": stream_id,
+                  "finished": True}
+        if stats["finished"]:
+            # Redelivery of a flush whose result was lost: the tail sits
+            # in the replay buffer; the resume-time open re-sent it.
+            tail = np.empty(0, dtype=np.float64)
+        else:
+            tail = hub.finish(stream_id)
+        result["values"] = protocol.encode_array(tail)
+        if stats["kind"] == "detection":
+            result["detection"] = _detection_payload(hub.result(stream_id))
+        offsets = hub.offsets(stream_id)
+        result["items_in"] = offsets["items_in"]
+        result["items_out"] = offsets["items_out"]
+        self._buffer_output(claim, offsets["items_out"] - tail.size, tail)
+        await connection.send(result)
+        # The stream is complete and its result delivered: evict it and
+        # its checkpoint + sidecar so a long-lived server does not leak.
+        hub.drop(stream_id)
+        self._forget_stream(claim)
+        connection.credits.pop(stream_id, None)
+
+    def _check_owned(self, connection: _Connection, stream_id: str) -> None:
+        claim = (connection.tenant, stream_id)
+        if self._owners.get(claim) is not connection:
+            raise ReproError(
+                f"stream {stream_id!r} is not open on this connection; "
+                "send an open frame first"
+            )
+
+
+def _detection_payload(result) -> dict:
+    """JSON evidence snapshot of a :class:`DetectionResult`.
+
+    Carries the raw voting buckets (not just derived verdicts), so the
+    client SDK reconstructs a full :class:`DetectionResult` and remote
+    callers keep the exact in-process evidence API.
+    """
+    return {
+        "wm_length": result.wm_length,
+        "buckets_true": [int(v) for v in result.buckets_true],
+        "buckets_false": [int(v) for v in result.buckets_false],
+        "abstentions": int(result.abstentions),
+        "vote_threshold": int(result.vote_threshold),
+        "counters": result.counters.to_dict(),
+        "bias": [int(result.bias(i)) for i in range(result.wm_length)],
+        "estimate": [None if bit is None else bool(bit)
+                     for bit in result.wm_estimate()],
+    }
+
+
+def _error_code(exc: ReproError) -> str:
+    """Stable machine-readable code for a server-side failure class."""
+    name = type(exc).__name__
+    return {
+        "HubError": "unknown-stream",
+        "SessionStateError": "bad-checkpoint",
+        "CheckpointStoreError": "store",
+        "ParameterError": "bad-params",
+        "RegistryError": "bad-params",
+    }.get(name, "error")

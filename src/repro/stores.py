@@ -39,6 +39,7 @@ from pathlib import Path
 from urllib.parse import quote, unquote
 
 from repro.errors import CheckpointStoreError
+from repro.registry import REGISTRY
 
 _STORE_VERSION = 1
 _ENTRY_KIND = "hub-checkpoint"
@@ -215,6 +216,9 @@ class CheckpointStore(abc.ABC):
         return self._decode(raw, stream_id)["sequence"]
 
 
+@REGISTRY.register("store", "memory",
+                   description="in-process checkpoint store (not durable; "
+                               "eviction staging and tests)")
 class MemoryCheckpointStore(CheckpointStore):
     """In-process checkpoint store (a dict of encoded entries).
 
@@ -245,6 +249,9 @@ class MemoryCheckpointStore(CheckpointStore):
         return list(self._entries)
 
 
+@REGISTRY.register("store", "directory",
+                   description="durable one-file-per-stream store with "
+                               "atomic writes")
 class DirectoryCheckpointStore(CheckpointStore):
     """Durable checkpoint store: one atomically-written file per stream.
 
@@ -338,3 +345,25 @@ class DirectoryCheckpointStore(CheckpointStore):
         return [unquote(entry.name[:-len(".json")])
                 for entry in self._dir.iterdir()
                 if entry.is_file() and entry.name.endswith(".json")]
+
+
+def build_store(backend: str, path: "str | Path | None" = None,
+                **options) -> CheckpointStore:
+    """Construct a registered store backend by name.
+
+    Directory-style backends (anything whose constructor takes a
+    leading ``path``) require ``path``; process-local backends reject
+    it.  The name resolves through :data:`repro.registry.REGISTRY`, so
+    a plugin store registered under ``"store"`` is immediately usable
+    by ``repro serve --store-backend``.
+    """
+    cls = REGISTRY.get("store", backend)
+    try:
+        if path is not None:
+            return cls(path, **options)
+        return cls(**options)
+    except TypeError as exc:
+        expects = "does not take" if path is not None else "needs"
+        raise CheckpointStoreError(
+            f"store backend {backend!r} {expects} a path: {exc}"
+        ) from exc

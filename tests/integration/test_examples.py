@@ -36,6 +36,13 @@ class TestExamples:
         assert "payload read back as '10'" in out
         assert "evictions" in out
 
+    def test_remote_fleet_survives_the_sigkill(self):
+        out = run_example("remote_fleet.py")
+        assert "SIGKILLed mid-run" in out
+        assert "8/8 sensor streams bit-identical" in out
+        assert "votes bit-identical" in out
+        assert "exit 0" in out
+
     def test_streaming_relay_accumulates_evidence(self):
         out = run_example("streaming_relay.py")
         assert "producer: streamed 12000 watermarked items" in out

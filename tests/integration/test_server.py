@@ -1,0 +1,469 @@
+"""Network serving layer end-to-end: round-trips, crash, drain, flow.
+
+The acceptance contract of the serving layer:
+
+* a remote embed -> detect round-trip over TCP is **bit-identical** to
+  the in-process :class:`~repro.hub.StreamHub`;
+* a server killed mid-push (transports aborted, no goodbye) and
+  restarted with ``--recover`` over the same store resumes every open
+  stream bit-identically — the client SDK reconnects, replays the
+  unseen suffix and deduplicates redelivered outputs;
+* graceful drain checkpoints everything and notifies clients;
+* credit-based flow control rejects over-credit pushes with a ``flow``
+  error instead of buffering unboundedly.
+
+The server runs on a private event-loop thread; tests drive it with the
+synchronous :class:`~repro.server.client.RemoteClient` — exactly the
+deployment shape (client code has no asyncio in sight).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import DetectionSession, WatermarkParams, watermark_stream
+from repro.errors import RemoteError
+from repro.server import protocol
+from repro.server.client import RemoteClient
+from repro.server.service import StreamService
+from repro.streams.generators import TemperatureSensorGenerator
+
+PARAMS = WatermarkParams(phi=5)
+KEY = b"server-test-key"
+
+
+def _params_dict() -> dict:
+    from repro.core.serialize import params_to_dict
+    return params_to_dict(PARAMS)
+
+
+class ServerHarness:
+    """A StreamService on a background event loop, crashable at will."""
+
+    def __init__(self, tmp_path, **service_kwargs):
+        self._store = tmp_path / "server-store"
+        self._kwargs = dict(service_kwargs)
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        self.service = None
+        self.port = None
+
+    def _run(self):
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_forever()
+
+    def _call(self, coroutine, timeout=30):
+        return asyncio.run_coroutine_threadsafe(
+            coroutine, self._loop).result(timeout)
+
+    def start(self, *, recover=False, port=0):
+        """Start (or restart) a service over the same store directory."""
+        self.service = StreamService(store_path=self._store, port=port,
+                                     recover=recover, **self._kwargs)
+        host, self.port = self._call(self.service.start())
+        return host, self.port
+
+    def crash(self):
+        """SIGKILL equivalent: abort every transport, checkpoint nothing."""
+        service = self.service
+
+        async def kill():
+            service._server.close()
+            for connection in list(service._connections):
+                connection.writer.transport.abort()
+
+        self._call(kill())
+        time.sleep(0.1)
+
+    def restart_recovered(self):
+        """Bring a fresh server up on the same port with --recover."""
+        port = self.port
+        return self.start(recover=True, port=port)
+
+    def drain(self):
+        """Graceful SIGTERM-style drain."""
+        self._call(self.service.drain())
+
+    def stop(self):
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=5)
+        self._loop.close()
+
+
+@pytest.fixture()
+def harness(tmp_path):
+    """A running server over a durable store; stopped afterwards."""
+    server = ServerHarness(tmp_path, checkpoint_every=1, credits=3)
+    server.start()
+    yield server
+    try:
+        server.drain()
+    except Exception:
+        pass
+    server.stop()
+
+
+def feed_all(session, values, chunk=500):
+    """Feed a whole array in chunks; return the concatenated outputs."""
+    pieces = [session.feed(values[start:start + chunk])
+              for start in range(0, len(values), chunk)]
+    pieces.append(session.finish())
+    return np.concatenate([piece for piece in pieces if piece.size])
+
+
+class TestRoundTrip:
+    def test_remote_embed_detect_bit_identical(self, harness):
+        """Embed + detect over TCP == the in-process session, bit for bit."""
+        values = TemperatureSensorGenerator(eta=60, seed=21).generate(4000)
+        reference, _ = watermark_stream(values, "10", KEY, params=PARAMS)
+
+        host, port = harness.service.address
+        with RemoteClient(host, port) as client:
+            session = client.protect("s-embed", "10", KEY, params=PARAMS)
+            marked = feed_all(session, values)
+        assert np.array_equal(marked, reference)
+
+        local = DetectionSession(2, KEY, params=PARAMS)
+        local.feed(reference)
+        local.finish()
+        expected = local.result()
+
+        with RemoteClient(host, port) as client:
+            session = client.detect("s-detect", 2, KEY, params=PARAMS)
+            feed_all(session, marked, chunk=700)
+            remote = session.result()
+        assert remote.buckets_true == expected.buckets_true
+        assert remote.buckets_false == expected.buckets_false
+        assert remote.wm_estimate() == expected.wm_estimate()
+
+    def test_finished_streams_do_not_leak(self, harness):
+        """After flush the stream and its checkpoint are dropped."""
+        values = TemperatureSensorGenerator(eta=60, seed=22).generate(1500)
+        host, port = harness.service.address
+        with RemoteClient(host, port) as client:
+            session = client.protect("leak-check", "1", KEY, params=PARAMS)
+            feed_all(session, values)
+        hub = harness.service.hub_for("default")
+        assert "leak-check" not in hub
+        assert "leak-check" not in hub.store
+        assert len(hub.store) == 0
+
+    def test_tenants_are_isolated(self, harness):
+        """The same stream id lives independently per tenant namespace —
+        including a tenant name crafted to look like another tenant's
+        sidecar directory."""
+        values = TemperatureSensorGenerator(eta=60, seed=23).generate(1500)
+        host, port = harness.service.address
+        with RemoteClient(host, port, tenant="acme") as one, \
+                RemoteClient(host, port, tenant="acme.meta") as two:
+            session_one = one.protect("sensor", "1", b"key-a",
+                                      params=PARAMS)
+            session_two = two.protect("sensor", "1", b"key-b",
+                                      params=PARAMS)
+            out_one = feed_all(session_one, values)
+            out_two = feed_all(session_two, values)
+        ref_a, _ = watermark_stream(values, "1", b"key-a", params=PARAMS)
+        ref_b, _ = watermark_stream(values, "1", b"key-b", params=PARAMS)
+        assert np.array_equal(out_one, ref_a)
+        assert np.array_equal(out_two, ref_b)
+
+
+class TestCrashRecovery:
+    def test_kill_mid_push_reconnect_resume_bit_identical(self, harness):
+        """The satellite contract: SIGKILLed server, restarted with
+        --recover, and the client's reconnect-resume yields detection
+        votes bit-identical to an uninterrupted run."""
+        values = TemperatureSensorGenerator(eta=60, seed=31).generate(6000)
+        marked, _ = watermark_stream(values, "10", KEY, params=PARAMS)
+
+        local = DetectionSession(2, KEY, params=PARAMS)
+        local.feed(marked)
+        local.finish()
+        expected = local.result()
+
+        host, port = harness.service.address
+        client = RemoteClient(host, port, reconnect_delay=0.1,
+                              reconnect_attempts=80)
+        try:
+            embed = client.protect("pipe", "1", b"embed-key", params=PARAMS)
+            detect = client.detect("court", 2, KEY, params=PARAMS)
+            out = []
+            for start in range(0, 3000, 500):
+                out.append(embed.feed(values[start:start + 500]))
+                detect.feed(marked[start:start + 500])
+
+            harness.crash()
+            harness.restart_recovered()
+
+            for start in range(3000, 6000, 500):
+                out.append(embed.feed(values[start:start + 500]))
+                detect.feed(marked[start:start + 500])
+            out.append(embed.finish())
+            detect.finish()
+            remote = detect.result()
+            recovered_stream = np.concatenate(
+                [piece for piece in out if piece.size])
+        finally:
+            client.close()
+
+        assert client.reconnects >= 1
+        # detection votes bit-identical to the uninterrupted run
+        assert remote.buckets_true == expected.buckets_true
+        assert remote.buckets_false == expected.buckets_false
+        # and the embedding output stream too, exactly once per item
+        reference, _ = watermark_stream(values, "1", b"embed-key",
+                                        params=PARAMS)
+        assert np.array_equal(recovered_stream, reference)
+
+    def test_connection_abort_mid_pipelined_feed_loses_nothing(self,
+                                                               harness):
+        """Outputs already received when the transport dies mid-feed
+        must still reach the caller exactly once (they ride the pending
+        buffer, not transient local state)."""
+        values = TemperatureSensorGenerator(eta=60, seed=34).generate(4000)
+        host, port = harness.service.address
+        service = harness.service
+
+        original = StreamService._on_push
+        state = {"count": 0}
+
+        async def sabotage(self, connection, frame):
+            await original(self, connection, frame)
+            state["count"] += 1
+            if state["count"] == 3:  # results 1-3 sent, then the axe
+                connection.writer.transport.abort()
+
+        service._on_push = sabotage.__get__(service, StreamService)
+        try:
+            with RemoteClient(host, port, push_items=200,
+                              reconnect_delay=0.1) as client:
+                session = client.protect("mid-feed", "1", KEY,
+                                         params=PARAMS)
+                out = [session.feed(values)]  # 20 pipelined pushes
+                out.append(session.finish())
+                marked = np.concatenate(
+                    [piece for piece in out if piece.size])
+                assert client.reconnects >= 1
+        finally:
+            service._on_push = original.__get__(service, StreamService)
+        reference, _ = watermark_stream(values, "1", KEY, params=PARAMS)
+        assert np.array_equal(marked, reference)
+
+    def test_result_lost_to_crash_is_redelivered_from_sidecar(self,
+                                                              harness):
+        """A result frame the client never read, wiped out by a SIGKILL
+        right after its checkpoint, is redelivered at resume from the
+        persisted replay sidecar — not lost."""
+        values = TemperatureSensorGenerator(eta=60, seed=35).generate(2000)
+        host, port = harness.service.address
+        payload = [protocol.encode_array(values[:1000]),
+                   protocol.encode_array(values[1000:])]
+
+        async def push_then_vanish():
+            reader, writer = await asyncio.open_connection(host, port)
+            await protocol.write_frame(writer, {
+                "type": "hello", "version": protocol.PROTOCOL_VERSION})
+            await protocol.read_frame(reader)
+            await protocol.write_frame(writer, {
+                "type": "open", "stream_id": "lossy",
+                "kind": "protection", "key": protocol.encode_key(KEY),
+                "watermark": "1",
+                "params": _params_dict()})
+            await protocol.read_frame(reader)  # open result
+            await protocol.read_frame(reader)  # credit grant
+            await protocol.write_frame(writer, {
+                "type": "push", "stream_id": "lossy", "seq": 0,
+                "delivered": 0, "values": payload[0]})
+            first = await protocol.read_frame(reader)
+            await protocol.read_frame(reader)  # credit
+            out0 = protocol.decode_array(first["values"])
+            # Second push acknowledges the first result; its own result
+            # is never read — the crash eats it.
+            await protocol.write_frame(writer, {
+                "type": "push", "stream_id": "lossy", "seq": 1,
+                "delivered": int(out0.size), "values": payload[1]})
+            await asyncio.sleep(0.3)  # let the server process + ckpt
+            return out0
+
+        out0 = asyncio.run(asyncio.wait_for(push_then_vanish(), 15))
+        harness.crash()
+        harness.restart_recovered()
+        host, port = harness.service.address
+
+        async def resume_and_collect(delivered):
+            reader, writer = await asyncio.open_connection(host, port)
+            await protocol.write_frame(writer, {
+                "type": "hello", "version": protocol.PROTOCOL_VERSION})
+            await protocol.read_frame(reader)
+            await protocol.write_frame(writer, {
+                "type": "open", "stream_id": "lossy",
+                "kind": "protection", "key": protocol.encode_key(KEY),
+                "watermark": "1", "resume": True,
+                "delivered": delivered,
+                "params": _params_dict()})
+            opened = await protocol.read_frame(reader)
+            await protocol.read_frame(reader)  # credit grant
+            assert opened["items_in"] == 2000  # checkpointed past push 2
+            replay = protocol.decode_array(opened.get("values", ""))
+            await protocol.write_frame(writer, {
+                "type": "flush", "stream_id": "lossy",
+                "delivered": delivered + int(replay.size)})
+            flushed = await protocol.read_frame(reader)
+            tail = protocol.decode_array(flushed["values"])
+            return replay, tail
+
+        replay, tail = asyncio.run(
+            asyncio.wait_for(resume_and_collect(int(out0.size)), 15))
+        marked = np.concatenate([out0, replay, tail])
+        reference, _ = watermark_stream(values, "1", KEY, params=PARAMS)
+        assert np.array_equal(marked, reference)
+
+    def test_recover_refused_without_flag(self, harness, tmp_path):
+        """A non-empty store without --recover must refuse to start."""
+        values = TemperatureSensorGenerator(eta=60, seed=32).generate(1200)
+        host, port = harness.service.address
+        client = RemoteClient(host, port)
+        session = client.protect("lingering", "1", KEY, params=PARAMS)
+        session.feed(values)
+        client.close()
+        harness.crash()
+
+        from repro.errors import ReproError
+        with pytest.raises(ReproError, match="--recover"):
+            harness.start(recover=False, port=0)
+
+    def test_graceful_drain_checkpoints_open_streams(self, harness):
+        """Drain writes every open stream's checkpoint to the store."""
+        values = TemperatureSensorGenerator(eta=60, seed=33).generate(1500)
+        host, port = harness.service.address
+        client = RemoteClient(host, port)
+        session = client.protect("draining", "1", KEY, params=PARAMS)
+        session.feed(values[:1000])
+        harness.drain()
+        client.close()
+        hub = harness.service.hub_for("default")
+        assert "draining" in hub.store
+        entry = hub.store.entry("draining")
+        counters = entry["state"]["scan"]["counters"]
+        assert counters["items"] == 1000
+
+
+class TestFlowControlAndErrors:
+    def test_flow_control_paces_large_feeds(self, harness):
+        """A feed far larger than the credit window completes correctly
+        (pushes are paced by CREDIT frames, not client buffering)."""
+        values = TemperatureSensorGenerator(eta=60, seed=41).generate(4000)
+        host, port = harness.service.address
+        with RemoteClient(host, port, push_items=100) as client:
+            session = client.protect("paced", "1", KEY, params=PARAMS)
+            marked = np.concatenate(
+                [piece for piece in (session.feed(values),
+                                     session.finish()) if piece.size])
+        reference, _ = watermark_stream(values, "1", KEY, params=PARAMS)
+        assert np.array_equal(marked, reference)
+
+    def test_over_credit_push_gets_flow_error(self, harness):
+        """A push arriving with the stream's credit window exhausted is
+        refused with a ``flow`` error and dropped, not buffered.
+
+        The serial handler returns each credit before reading the next
+        frame, so the window cannot be over-drawn from outside; the
+        test zeroes the server-side counter directly (the state a
+        concurrent handler variant would reach) and then pushes.
+        """
+        host, port = harness.service.address
+        service = harness.service
+
+        async def overpush():
+            reader, writer = await asyncio.open_connection(host, port)
+            await protocol.write_frame(writer, {
+                "type": "hello", "version": protocol.PROTOCOL_VERSION})
+            hello = await protocol.read_frame(reader)
+            assert hello["credits"] == 3
+            await protocol.write_frame(writer, {
+                "type": "open", "stream_id": "greedy",
+                "kind": "protection", "key": protocol.encode_key(KEY),
+                "watermark": "1"})
+            frames = [await protocol.read_frame(reader)
+                      for _ in range(2)]  # open result + credit grant
+            assert {frame["type"] for frame in frames} \
+                == {"result", "credit"}
+            (connection,) = service._connections
+            connection.credits["greedy"] = 0  # window exhausted
+            await protocol.write_frame(writer, {
+                "type": "push", "stream_id": "greedy", "seq": 0,
+                "values": protocol.encode_array(np.zeros(4))})
+            while True:
+                frame = await protocol.read_frame(reader)
+                if frame["type"] == "error":
+                    return frame
+
+        error = asyncio.run(asyncio.wait_for(overpush(), 15))
+        assert error["code"] == "flow"
+        assert "credit" in error["message"]
+
+    def test_duplicate_open_rejected(self, harness):
+        host, port = harness.service.address
+        with RemoteClient(host, port) as one:
+            one.protect("dup", "1", KEY, params=PARAMS)
+            with RemoteClient(host, port) as two:
+                with pytest.raises(RemoteError,
+                                   match="another connection"):
+                    two.protect("dup", "1", KEY, params=PARAMS)
+
+    def test_resume_with_wrong_key_rejected(self, harness):
+        """Resuming a live stream with a different key is refused."""
+        values = TemperatureSensorGenerator(eta=60, seed=42).generate(800)
+        host, port = harness.service.address
+        client = RemoteClient(host, port)
+        session = client.protect("keyed", "1", KEY, params=PARAMS)
+        session.feed(values)
+        client.close()
+
+        async def steal():
+            reader, writer = await asyncio.open_connection(host, port)
+            await protocol.write_frame(writer, {
+                "type": "hello", "version": protocol.PROTOCOL_VERSION})
+            await protocol.read_frame(reader)
+            await protocol.write_frame(writer, {
+                "type": "open", "stream_id": "keyed",
+                "kind": "protection",
+                "key": protocol.encode_key(b"wrong-key"),
+                "watermark": "1", "resume": True})
+            return await protocol.read_frame(reader)
+
+        frame = asyncio.run(asyncio.wait_for(steal(), 15))
+        assert frame["type"] == "error"
+        assert "key mismatch" in frame["message"]
+
+    def test_fresh_open_of_existing_stream_rejected(self, harness):
+        """Re-opening an existing stream without resume is an error."""
+        values = TemperatureSensorGenerator(eta=60, seed=43).generate(800)
+        host, port = harness.service.address
+        client = RemoteClient(host, port)
+        session = client.protect("twice", "1", KEY, params=PARAMS)
+        session.feed(values)
+        client.close()
+
+        with RemoteClient(host, port) as again:
+            with pytest.raises(RemoteError, match="resume"):
+                again.protect("twice", "1", KEY, params=PARAMS)
+
+    def test_wrong_version_refused(self, harness):
+        host, port = harness.service.address
+
+        async def bad_hello():
+            reader, writer = await asyncio.open_connection(host, port)
+            await protocol.write_frame(writer, {"type": "hello",
+                                                "version": 999})
+            return await protocol.read_frame(reader)
+
+        frame = asyncio.run(asyncio.wait_for(bad_hello(), 15))
+        assert frame["type"] == "error"
+        assert frame["code"] == "version"

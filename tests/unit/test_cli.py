@@ -301,3 +301,94 @@ class TestHubCommands:
                     + self._stream_args(specs, tmp_path, ".o.csv"))
         assert code == 2
         assert "key" in capsys.readouterr().err
+
+
+class TestHubStatusEmptyStore:
+    def test_empty_store_is_a_clear_message_not_a_bare_table(self, tmp_path,
+                                                             capsys):
+        """An existing-but-empty store exits 0 with an 'empty' message."""
+        store = tmp_path / "empty-store"
+        store.mkdir()
+        code = main(["hub", "status", str(store)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "empty" in out
+        assert "no stream checkpoints" in out
+
+    def test_store_drained_by_drops_reports_empty(self, tmp_path, capsys):
+        """A store whose every stream was dropped reads as empty too."""
+        from repro import StreamHub
+        from repro.stores import DirectoryCheckpointStore
+
+        store_dir = tmp_path / "store"
+        hub = StreamHub(store=DirectoryCheckpointStore(store_dir),
+                        checkpoint_every=1)
+        hub.protect("s", "1", b"k")
+        hub.finish("s")
+        hub.drop("s")
+        code = main(["hub", "status", str(store_dir)])
+        assert code == 0
+        assert "empty" in capsys.readouterr().out
+
+
+class TestRemoteCommands:
+    @pytest.fixture()
+    def server(self, tmp_path):
+        """An in-process StreamService on a background loop."""
+        import asyncio
+        import threading
+
+        from repro.server.service import StreamService
+
+        loop = asyncio.new_event_loop()
+        thread = threading.Thread(target=loop.run_forever, daemon=True)
+        thread.start()
+        service = StreamService(store_path=tmp_path / "srv-store",
+                                checkpoint_every=1)
+        host, port = asyncio.run_coroutine_threadsafe(
+            service.start(), loop).result(15)
+        yield host, port
+        asyncio.run_coroutine_threadsafe(service.drain(), loop).result(15)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=5)
+        loop.close()
+
+    def test_remote_embed_then_detect_round_trip(self, server, stream_file,
+                                                 tmp_path, capsys):
+        """CLI remote embed/detect against a live server, bit-identical
+        to offline embedding."""
+        from repro import watermark_stream
+
+        host, port = server
+        marked_path = tmp_path / "remote-marked.csv"
+        code = main(["remote", "embed", str(stream_file), str(marked_path),
+                     "--host", host, "--port", str(port),
+                     "--stream-id", "cli-s1", "--key", "cli-key",
+                     "--watermark", "1"])
+        assert code == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["items_in"] == 5000
+        assert info["items_out"] == 5000
+
+        offline, _ = watermark_stream(load_stream_csv(stream_file), "1",
+                                      b"cli-key")
+        assert np.array_equal(load_stream_csv(marked_path), offline)
+
+        code = main(["remote", "detect", str(marked_path),
+                     "--host", host, "--port", str(port),
+                     "--stream-id", "cli-d1", "--key", "cli-key",
+                     "--expect", "1"])
+        assert code == 0
+        verdict = json.loads(capsys.readouterr().out)
+        assert verdict["bias"][0] > 10
+        assert verdict["match_fraction"] == 1.0
+        assert verdict["estimate"] == ["1"]
+        assert verdict["reconnects"] == 0
+
+    def test_remote_unreachable_server_is_clean_error(self, stream_file,
+                                                      tmp_path, capsys):
+        code = main(["remote", "embed", str(stream_file),
+                     str(tmp_path / "o.csv"), "--port", "1",
+                     "--stream-id", "s", "--key", "k"])
+        assert code == 2
+        assert "cannot reach" in capsys.readouterr().err

@@ -346,3 +346,161 @@ class TestMidstreamReplay:
             pieces.append(recovered.push("s", values[start:start + CHUNK]))
         pieces.append(recovered.finish("s"))
         assert np.array_equal(np.concatenate(pieces), expected)
+
+
+class TestDropAndRestore:
+    def test_drop_finished_stream_frees_hub_and_store(self, tmp_path):
+        """drop() evicts a finished stream and deletes its checkpoint —
+        the long-lived-server leak fix."""
+        values = TemperatureSensorGenerator(eta=60, seed=71).generate(1200)
+        store = DirectoryCheckpointStore(tmp_path)
+        hub = StreamHub(store=store, checkpoint_every=1)
+        hub.protect("done", "1", b"k", params=PARAMS)
+        hub.push("done", values)
+        hub.finish("done")
+        assert "done" in hub and "done" in store
+        hub.drop("done")
+        assert "done" not in hub
+        assert "done" not in store
+        assert len(store) == 0
+
+    def test_dropped_id_is_reusable(self):
+        hub = StreamHub(checkpoint_every=1)
+        hub.protect("recycled", "1", b"k", params=PARAMS)
+        hub.finish("recycled")
+        hub.drop("recycled")
+        hub.protect("recycled", "1", b"k2", params=PARAMS)  # no duplicate
+        assert "recycled" in hub
+
+    def test_drop_unfinished_requires_force(self):
+        hub = StreamHub(checkpoint_every=1)
+        hub.protect("live", "1", b"k", params=PARAMS)
+        hub.push("live", np.zeros(64))
+        with pytest.raises(HubError, match="force"):
+            hub.drop("live")
+        hub.drop("live", force=True)
+        assert "live" not in hub
+
+    def test_drop_without_checkpoint_is_fine(self):
+        """A finished stream that never checkpointed (cadence 0) drops
+        cleanly without a store delete error."""
+        hub = StreamHub()  # memory store, checkpoint_every=0
+        hub.protect("no-ckpt", "1", b"k", params=PARAMS)
+        hub.finish("no-ckpt")
+        hub.drop("no-ckpt")
+        assert len(hub) == 0
+
+    def test_drop_unknown_stream_is_helpful(self):
+        hub = StreamHub()
+        with pytest.raises(HubError, match="unknown stream id"):
+            hub.drop("ghost")
+
+    def test_restore_adopts_one_stream_from_store(self, tmp_path):
+        """restore() is per-stream recover: a hub started empty against
+        an existing store re-admits streams lazily, bit-identically."""
+        values = TemperatureSensorGenerator(eta=60, seed=72).generate(N_ITEMS)
+        expected, _ = watermark_stream(values, "10", b"k", params=PARAMS)
+
+        store = DirectoryCheckpointStore(tmp_path)
+        hub = StreamHub(store=store, checkpoint_every=1)
+        hub.protect("lazy", "10", b"k", params=PARAMS)
+        pieces = [hub.push("lazy", values[:CHUNK])]
+        del hub  # crash
+
+        fresh = StreamHub(store=store, checkpoint_every=1)
+        assert "lazy" not in fresh
+        fresh.restore("lazy", b"k")
+        assert "lazy" in fresh
+        offset = fresh.offsets("lazy")["items_in"]
+        assert offset == CHUNK
+        for start in range(offset, N_ITEMS, CHUNK):
+            pieces.append(fresh.push("lazy", values[start:start + CHUNK]))
+        pieces.append(fresh.finish("lazy"))
+        assert np.array_equal(np.concatenate(pieces), expected)
+
+    def test_restore_without_checkpoint_is_an_error(self):
+        hub = StreamHub()
+        with pytest.raises(HubError, match="nothing to restore"):
+            hub.restore("never-seen", b"k")
+
+    def test_restore_duplicate_id_rejected(self, tmp_path):
+        store = DirectoryCheckpointStore(tmp_path)
+        hub = StreamHub(store=store, checkpoint_every=1)
+        hub.protect("dup", "1", b"k", params=PARAMS)
+        hub.push("dup", np.zeros(64))
+        with pytest.raises(HubError, match="already registered"):
+            hub.restore("dup", b"k")
+
+
+class TestOffsets:
+    def test_offsets_track_window_held_items(self):
+        hub = StreamHub()
+        hub.protect("s", "1", b"k", params=PARAMS)
+        out = hub.push("s", np.zeros(600))
+        offsets = hub.offsets("s")
+        assert offsets["items_in"] == 600
+        assert offsets["items_out"] == len(out)
+        assert not offsets["finished"]
+        tail = hub.finish("s")
+        offsets = hub.offsets("s")
+        assert offsets["items_out"] == len(out) + len(tail) == 600
+        assert offsets["finished"]
+
+    def test_offsets_exact_after_recover(self, tmp_path):
+        """items_out must come from the session, not hub-lifetime stats
+        (which restart at zero after recover)."""
+        values = TemperatureSensorGenerator(eta=60, seed=73).generate(1600)
+        store = DirectoryCheckpointStore(tmp_path)
+        hub = StreamHub(store=store, checkpoint_every=1)
+        hub.protect("s", "1", b"k", params=PARAMS)
+        out = hub.push("s", values)
+        before = hub.offsets("s")
+        assert before["items_out"] == len(out)
+        del hub
+
+        recovered = StreamHub.recover(store, {"s": b"k"})
+        assert recovered.stats("s")["items_out"] == 0  # hub-lifetime
+        after = recovered.offsets("s")
+        assert after == before  # session-authoritative
+
+
+class TestStoreSummaryRaces:
+    def test_entry_deleted_between_ids_and_entry_is_skipped(self, tmp_path):
+        """TOCTOU on a live server: a row vanishing mid-summary is
+        dropped, not an error."""
+        from repro.hub import store_summary
+
+        store = DirectoryCheckpointStore(tmp_path)
+        hub = StreamHub(store=store, checkpoint_every=1)
+        for sid in ("a", "b", "c"):
+            hub.protect(sid, "1", b"k", params=PARAMS)
+            hub.push(sid, np.zeros(64))
+
+        class RacingStore:
+            """Deletes 'b' the moment the summary first touches it."""
+
+            def ids(self):
+                return store.ids()
+
+            def entry(self, stream_id):
+                if stream_id == "b" and "b" in store:
+                    store.delete(stream_id)
+                return store.entry(stream_id)
+
+            def __contains__(self, stream_id):
+                return stream_id in store
+
+        rows = store_summary(RacingStore())
+        assert [row["stream_id"] for row in rows] == ["a", "c"]
+
+    def test_present_but_corrupt_entry_still_raises(self, tmp_path):
+        from repro.errors import CheckpointStoreError
+        from repro.hub import store_summary
+
+        store = DirectoryCheckpointStore(tmp_path)
+        hub = StreamHub(store=store, checkpoint_every=1)
+        hub.protect("ok", "1", b"k", params=PARAMS)
+        hub.push("ok", np.zeros(64))
+        (tmp_path / "corrupt.json").write_text("{not json")
+        with pytest.raises(CheckpointStoreError):
+            store_summary(store)

@@ -1,0 +1,203 @@
+"""Wire-protocol contract: round-trips, strict decoding, fuzzing.
+
+Mirrors the checkpoint deserialization fuzz suites: any malformed,
+truncated, oversized, wrong-version or junk-typed frame must raise a
+clean :class:`repro.errors.ProtocolError` — never a raw ``KeyError`` /
+``struct.error`` from the framing plumbing, and never a silently
+half-understood frame.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ProtocolError
+from repro.server.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    decode_array,
+    decode_frame,
+    decode_key,
+    encode_array,
+    encode_frame,
+    encode_key,
+    validate_frame,
+)
+
+HELLO = {"type": "hello", "version": PROTOCOL_VERSION, "tenant": "default"}
+PUSH = {"type": "push", "stream_id": "s1", "seq": 0,
+        "values": encode_array([0.25, -0.125])}
+FRAMES = [
+    HELLO,
+    {"type": "hello", "version": 1, "server": "repro/1.0.0", "credits": 4},
+    {"type": "open", "stream_id": "s1", "kind": "protection",
+     "key": encode_key(b"k1"), "watermark": "101", "resume": True},
+    PUSH,
+    {"type": "flush", "stream_id": "s1"},
+    {"type": "result", "op": "push", "stream_id": "s1", "seq": 3,
+     "values": encode_array([]), "items_in": 12, "items_out": 7},
+    {"type": "credit", "stream_id": "s1", "credits": 1},
+    {"type": "error", "code": "flow", "message": "no credits",
+     "stream_id": "s1"},
+    {"type": "bye", "reason": "drain"},
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("frame", FRAMES,
+                             ids=[f["type"] for f in FRAMES])
+    def test_encode_decode_roundtrip(self, frame):
+        """Every frame shape survives the wire byte-for-byte."""
+        wire = encode_frame(frame)
+        (length,) = struct.unpack(">I", wire[:4])
+        assert length == len(wire) - 4
+        assert decode_frame(wire[4:]) == frame
+
+    def test_incremental_decoder_any_fragmentation(self):
+        """Frames split at every possible byte boundary still decode."""
+        wire = encode_frame(HELLO) + encode_frame(PUSH)
+        for cut in range(len(wire) + 1):
+            decoder = FrameDecoder()
+            frames = decoder.feed(wire[:cut]) + decoder.feed(wire[cut:])
+            assert frames == [HELLO, PUSH]
+            assert decoder.pending_bytes == 0
+
+    def test_array_roundtrip_bit_identical(self):
+        values = np.array([0.1, -0.30000000000000004, 1e-308, 0.0, -0.5])
+        assert np.array_equal(decode_array(encode_array(values)), values)
+
+    def test_empty_array_roundtrip(self):
+        assert decode_array(encode_array([])).size == 0
+
+    def test_key_roundtrip(self):
+        assert decode_key(encode_key(b"\x00secret\xff")) == b"\x00secret\xff"
+        assert decode_key(encode_key("text-key")) == b"text-key"
+
+    @given(st.lists(st.floats(allow_nan=False, width=64), max_size=64))
+    def test_array_roundtrip_property(self, values):
+        array = np.asarray(values, dtype=np.float64)
+        assert np.array_equal(decode_array(encode_array(array)), array)
+
+
+class TestStrictValidation:
+    def test_unknown_frame_type_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown frame type"):
+            validate_frame({"type": "launch-missiles"})
+
+    def test_non_object_frame_rejected(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            validate_frame([1, 2, 3])
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown fields"):
+            validate_frame({**HELLO, "extra": 1})
+
+    def test_missing_required_field_rejected(self):
+        with pytest.raises(ProtocolError, match="missing required"):
+            validate_frame({"type": "push", "stream_id": "s1", "seq": 0})
+
+    def test_wrong_field_type_rejected(self):
+        with pytest.raises(ProtocolError, match="must be int"):
+            validate_frame({"type": "hello", "version": "1"})
+
+    def test_bool_is_not_an_int(self):
+        """JSON true must not satisfy integer fields via bool-is-int."""
+        with pytest.raises(ProtocolError, match="got bool"):
+            validate_frame({"type": "credit", "stream_id": "s",
+                            "credits": True})
+
+    def test_negative_counters_rejected(self):
+        with pytest.raises(ProtocolError, match=">= 0"):
+            validate_frame({"type": "credit", "stream_id": "s",
+                            "credits": -1})
+
+    def test_empty_stream_id_rejected(self):
+        with pytest.raises(ProtocolError, match="non-empty"):
+            validate_frame({"type": "flush", "stream_id": ""})
+
+    def test_oversized_frame_rejected_at_encode(self):
+        frame = {"type": "push", "stream_id": "s1", "seq": 0,
+                 "values": "A" * 256}
+        with pytest.raises(ProtocolError, match="exceeds"):
+            encode_frame(frame, max_bytes=128)
+
+    def test_oversized_length_prefix_rejected_before_buffering(self):
+        decoder = FrameDecoder(max_bytes=1024)
+        with pytest.raises(ProtocolError, match="length prefix"):
+            decoder.feed(struct.pack(">I", 2 ** 31) + b"x")
+
+    def test_default_limit_is_sane(self):
+        assert MAX_FRAME_BYTES >= 1024 * 1024
+
+
+class TestDecodeFuzz:
+    """Hostile bytes and junk values into the decoder."""
+
+    @given(st.binary(max_size=64))
+    def test_arbitrary_bytes_never_crash_raw(self, data):
+        """Random bodies either decode to a valid frame or raise clean."""
+        try:
+            decode_frame(data)
+        except ProtocolError:
+            pass
+
+    @given(st.binary(min_size=1, max_size=200))
+    def test_incremental_decoder_survives_garbage(self, data):
+        decoder = FrameDecoder(max_bytes=1024)
+        try:
+            decoder.feed(data)
+        except ProtocolError:
+            pass
+
+    @pytest.mark.parametrize("frame", FRAMES,
+                             ids=[f["type"] for f in FRAMES])
+    def test_truncated_bodies_rejected(self, frame):
+        """Every proper prefix of a frame body fails cleanly."""
+        wire = encode_frame(frame)
+        body = wire[4:]
+        for cut in range(len(body)):
+            with pytest.raises(ProtocolError):
+                decode_frame(body[:cut])
+
+    @given(st.sampled_from(FRAMES),
+           st.sampled_from(["type", "stream_id", "seq", "credits",
+                            "values", "version", "op", "code"]),
+           st.one_of(st.none(), st.integers(-5, 5), st.booleans(),
+                     st.text(max_size=3), st.lists(st.integers(),
+                                                   max_size=2)))
+    def test_field_type_mutations_rejected_or_equal(self, frame, field,
+                                                    junk):
+        """Mutating any field either leaves a valid frame or raises
+        ProtocolError — never a raw TypeError/KeyError."""
+        if field not in frame:
+            return
+        mutated = {**frame, field: junk}
+        try:
+            validate_frame(mutated)
+        except ProtocolError:
+            return
+        # Accepted mutants must be genuinely valid (same type, sane value)
+        assert isinstance(junk, type(frame[field])) or frame[field] == junk
+
+    def test_junk_base64_values_rejected(self):
+        with pytest.raises(ProtocolError, match="base64"):
+            decode_array("not@base64!")
+
+    def test_non_float64_sized_payload_rejected(self):
+        """base64 decoding to 3 bytes is not a whole float64 item."""
+        with pytest.raises(ProtocolError, match="float64"):
+            decode_array("AAAA")
+
+    def test_junk_key_rejected(self):
+        with pytest.raises(ProtocolError, match="base64"):
+            decode_key("###")
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ProtocolError, match="empty"):
+            decode_key("")
