@@ -176,11 +176,19 @@ def _build_parser() -> argparse.ArgumentParser:
     hub_status.add_argument("store", help="checkpoint store directory")
 
     serve = sub.add_parser(
-        "serve", help="serve StreamHub tenants over framed TCP")
+        "serve", help="serve StreamHub tenants over a framed transport")
     serve.add_argument("--host", default="127.0.0.1",
                        help="bind address (default 127.0.0.1)")
     serve.add_argument("--port", type=int, default=7707,
                        help="bind port; 0 picks a free one (default 7707)")
+    serve.add_argument("--transport", default="tcp", metavar="NAME",
+                       help="registered transport to listen on "
+                            "(see `repro list`; default 'tcp')")
+    serve.add_argument("--wire", default="binary", metavar="NAME",
+                       help="newest wire codec granted at HELLO "
+                            "negotiation: 'json' or 'binary' "
+                            "(default 'binary'; clients may always "
+                            "negotiate down)")
     serve.add_argument("--store", default=None,
                        help="root directory for durable per-tenant "
                             "checkpoint stores (default: in-memory)")
@@ -222,6 +230,13 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="items per feed (default 500)")
         p.add_argument("--encoding", default="multihash",
                        choices=encodings)
+        p.add_argument("--transport", default="tcp", metavar="NAME",
+                       help="transport the server listens on "
+                            "(default 'tcp')")
+        p.add_argument("--wire", default="binary", metavar="NAME",
+                       help="wire codec to request: 'json' or 'binary' "
+                            "(default 'binary'; the server may grant "
+                            "less)")
 
     remote_embed = remote_sub.add_parser(
         "embed", help="watermark a CSV stream through a remote server")
@@ -541,15 +556,20 @@ def _cmd_serve(args) -> int:
         service = StreamService(
             host=args.host, port=args.port, store_path=args.store,
             store_backend=args.store_backend, credits=args.credits,
+            transport=args.transport, max_wire=args.wire,
             checkpoint_every=args.checkpoint_every,
             checkpoint_interval=args.checkpoint_interval,
             max_live_sessions=args.max_live, recover=args.recover)
         host, port = await service.start()
         recoverable = service.recoverable() if args.recover else {}
+        status = service.status()
         # One machine-readable ready line: scripts parse the bound port
-        # (required with --port 0) before dialing in.
+        # (required with --port 0) before dialing in, and operators see
+        # what the server actually speaks.
         print(json.dumps({
-            "serving": {"host": host, "port": port},
+            "serving": {"host": host, "port": port,
+                        "transport": status["transport"],
+                        "max_wire": status["max_wire"]},
             "store": args.store,
             "recoverable": {tenant: len(ids)
                             for tenant, ids in recoverable.items()},
@@ -563,7 +583,10 @@ def _cmd_serve(args) -> int:
             except NotImplementedError:  # pragma: no cover - non-POSIX
                 pass
         await service.serve_until_drained()
-        print(json.dumps({"drained": True, "pushes": service.pushes}),
+        status = service.status()
+        print(json.dumps({"drained": True, "pushes": service.pushes,
+                          "transport": status["transport"],
+                          "wire_sessions": status["wire_sessions"]}),
               flush=True)
 
     asyncio.run(run())
@@ -582,7 +605,9 @@ def _cmd_remote_embed(args) -> int:
     from repro.server.client import RemoteClient
 
     values = _load(args)
-    with RemoteClient(args.host, args.port, tenant=args.tenant) as client:
+    with RemoteClient(args.host, args.port, tenant=args.tenant,
+                      transport=args.transport,
+                      wire=args.wire) as client:
         session = client.protect(args.stream_id, args.watermark,
                                  _require_key(args), params=_params(args),
                                  encoding=args.encoding)
@@ -607,7 +632,9 @@ def _cmd_remote_detect(args) -> int:
     from repro.server.client import RemoteClient
 
     values = _load(args)
-    with RemoteClient(args.host, args.port, tenant=args.tenant) as client:
+    with RemoteClient(args.host, args.port, tenant=args.tenant,
+                      transport=args.transport,
+                      wire=args.wire) as client:
         session = client.detect(args.stream_id, args.bits,
                                 _require_key(args), params=_params(args),
                                 encoding=args.encoding,

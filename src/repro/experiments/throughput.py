@@ -63,20 +63,22 @@ SEED_US_PER_ITEM = {
 def machine_calibration(n_items: int = 6000) -> float:
     """µs/item of the *seed revision's* baseline loop on this machine.
 
-    ``SEED_US_PER_ITEM`` are absolute wall-clock figures from the
-    machine that recorded them; dividing this measurement by
+    ``SEED_US_PER_ITEM`` are absolute figures from the (idle) machine
+    that recorded them; dividing this measurement by
     ``SEED_US_PER_ITEM["read-and-copy"]`` (the same loop, same code)
     yields a machine-speed factor that keeps speedup regression guards
-    hardware-independent.
+    hardware-independent.  Measured in process time, like every
+    compute-bound figure in this module, so background load on a
+    shared host does not read as a slow machine.
     """
     values = np.arange(n_items, dtype=np.float64)
     best = float("inf")
     for _ in range(3):
-        start = time.perf_counter()
+        start = time.process_time()
         out: list[float] = []
         for value in values:  # the seed's boxed per-item loop, verbatim
             out.append(float(value))
-        best = min(best, time.perf_counter() - start)
+        best = min(best, time.process_time() - start)
         if len(out) != n_items:  # defensive: keep the loop un-elided
             raise RuntimeError("calibration loop lost items")
     return 1e6 * best / n_items
@@ -93,12 +95,12 @@ def _read_and_copy(values: np.ndarray) -> float:
     items = values.tolist()
     best = float("inf")
     for _ in range(3):
-        start = time.perf_counter()
+        start = time.process_time()
         out: list[float] = []
         append = out.append
         for value in items:
             append(value)
-        best = min(best, time.perf_counter() - start)
+        best = min(best, time.process_time() - start)
         if len(out) != len(items):  # defensive: keep the loop un-elided
             raise RuntimeError("copy loop lost items")
     return best
@@ -108,11 +110,13 @@ def _embed_time(values: np.ndarray, encoding: str,
                 encoding_options: "dict | None" = None,
                 active_run_length: "int | None" = None,
                 max_subset_embed: "int | None" = None) -> float:
-    """Best-of-up-to-3 wall-clock embed time for one configuration.
+    """Best-of-up-to-3 CPU embed time for one configuration.
 
     Timing-harness practice: the minimum over repetitions estimates the
-    true cost with the least scheduler/frequency noise.  Configurations
-    whose single run already exceeds a second (the exhaustive multi-hash
+    true cost with the least scheduler/frequency noise, and process
+    time (these loops never sleep) keeps a busy co-tenant on a shared
+    host from inflating the figure further.  Configurations whose
+    single run already exceeds a second (the exhaustive multi-hash
     searches) are measured once — their cost dwarfs the noise floor.
     """
     params = synthetic_params()
@@ -128,9 +132,9 @@ def _embed_time(values: np.ndarray, encoding: str,
         embedder = StreamWatermarker("1", DEFAULT_KEY, params=params,
                                      encoding=encoding,
                                      encoding_options=encoding_options or {})
-        start = time.perf_counter()
+        start = time.process_time()
         embedder.run(np.array(values))
-        best = min(best, time.perf_counter() - start)
+        best = min(best, time.process_time() - start)
         if best > 1.0:
             break
     return best
@@ -253,11 +257,11 @@ def run_hub_soak(n_streams: int = 1000, chunk: int = 64,
     # -- single-session baseline: same pushes, one stream --------------
     single = ProtectionSession("1", DEFAULT_KEY, params=params,
                                encoding="initial")
-    start_time = time.perf_counter()
+    start_time = time.process_time()
     for piece in chunks:
         single.feed(piece)
     single.finish()
-    single_seconds = time.perf_counter() - start_time
+    single_seconds = time.process_time() - start_time
 
     # -- hub: same pushes, fanned over n_streams tenants ---------------
     hub = StreamHub()
@@ -267,12 +271,12 @@ def run_hub_soak(n_streams: int = 1000, chunk: int = 64,
     ids = [f"sensor-{i}" for i in range(n_streams)]
     routed = [(ids[i % n_streams], piece)
               for i, piece in enumerate(chunks)]
-    start_time = time.perf_counter()
+    start_time = time.process_time()
     for stream_id, piece in routed:
         hub.push(stream_id, piece)
     for stream_id in ids:
         hub.finish(stream_id)
-    hub_seconds = time.perf_counter() - start_time
+    hub_seconds = time.process_time() - start_time
 
     single_us = 1e6 * single_seconds / total
     hub_us = 1e6 * hub_seconds / total
@@ -292,23 +296,134 @@ def run_hub_soak(n_streams: int = 1000, chunk: int = 64,
 # ----------------------------------------------------------------------
 # remote loopback: the network serving layer vs the in-process hub
 # ----------------------------------------------------------------------
-def run_remote_loopback(n_items: int = 40000, chunk: int = 2000) -> dict:
-    """µs/item through ``repro serve`` on loopback vs the in-process hub.
 
-    One protection stream is fed in identical chunks twice: once into a
-    :class:`~repro.hub.StreamHub` directly, once through a
-    :class:`~repro.server.service.StreamService` on 127.0.0.1 via the
-    sync :class:`~repro.server.client.RemoteClient`.  The ratio prices
-    the serving layer itself — framing, base64 payloads, TCP round
-    trips, credit bookkeeping — on top of the same scan.  Checkpointing
-    is off on both sides so the comparison isolates transport cost.
+#: The transport x wire cells the loopback bench prices.  ``tcp-binary``
+#: is the headline (the regression guard and the top-level ratio);
+#: ``tcp-json`` shows what negotiation buys; ``websocket-binary``
+#: prices the RFC 6455 framing on the same codec.
+LOOPBACK_SCENARIOS = (("tcp", "json"), ("tcp", "binary"),
+                      ("websocket", "binary"))
+
+
+def _proc_cpu_seconds(pid: int) -> "float | None":
+    """CPU seconds (user + system) a live process has consumed.
+
+    Read from ``/proc/<pid>/stat`` so a scenario can snapshot the
+    serve subprocess around each repeat without cooperation from the
+    server.  Returns ``None`` where procfs is unavailable (non-Linux),
+    in which case callers fall back to wall-clock accounting.
     """
-    import asyncio
-    import threading
+    import os
 
-    from repro.hub import StreamHub
+    try:
+        with open(f"/proc/{pid}/stat", "rb") as handle:
+            fields = handle.read().rsplit(b") ", 1)[1].split()
+        ticks = int(fields[11]) + int(fields[12])
+        return ticks / os.sysconf("SC_CLK_TCK")
+    except (OSError, ValueError, IndexError):  # pragma: no cover
+        return None
+
+
+def _loopback_scenario(data: np.ndarray, chunk: int, params,
+                       transport: str, wire: str,
+                       repeats: int = 3) -> dict:
+    """One serving-stack measurement: CPU + wall seconds + counters.
+
+    The server runs as a separate ``repro serve`` **process** — the
+    deployment shape — so the measurement prices the protocol and the
+    kernel, not artificial GIL contention between a client thread and a
+    server thread sharing one interpreter.  The whole stream is handed
+    to :meth:`RemoteSession.feed` in one call, so the client splits it
+    into ``chunk``-item pushes and keeps the server's full credit
+    window in flight — the pipelined regime a fleet feeder runs in,
+    where loopback RTTs overlap the scan instead of serializing with
+    it.
+
+    The headline cost is **CPU seconds** (client process time plus the
+    server's procfs utime+stime delta): on a shared host, wall clock
+    prices whichever neighbour burst through during the run, while CPU
+    time prices the code — and the two converge on an otherwise idle
+    core anyway.  Wall seconds ride along for context.  Best of
+    ``repeats`` passes, like the embed timings.
+    """
+    import signal
+    import subprocess
+    import sys
+
     from repro.server.client import RemoteClient
-    from repro.server.service import StreamService
+
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--transport", transport, "--checkpoint-every", "0",
+         "--credits", "8"],
+        stdout=subprocess.PIPE, text=True)
+    try:
+        ready = json.loads(server.stdout.readline())
+        host = ready["serving"]["host"]
+        port = ready["serving"]["port"]
+        best_cpu = best_wall = float("inf")
+        stats = None
+        for attempt in range(repeats):
+            with RemoteClient(host, port, push_items=chunk,
+                              transport=transport, wire=wire) as client:
+                session = client.protect(f"bench-{attempt}", "1",
+                                         DEFAULT_KEY, params=params,
+                                         encoding="initial")
+                server_cpu0 = _proc_cpu_seconds(server.pid)
+                wall0 = time.perf_counter()
+                cpu0 = time.process_time()
+                session.feed(data)
+                session.finish()
+                cpu = time.process_time() - cpu0
+                wall = time.perf_counter() - wall0
+                server_cpu1 = _proc_cpu_seconds(server.pid)
+                if server_cpu0 is not None and server_cpu1 is not None:
+                    cpu += server_cpu1 - server_cpu0
+                else:  # pragma: no cover - no procfs
+                    cpu = wall
+                if cpu < best_cpu:
+                    best_cpu = cpu
+                    best_wall = wall
+                    stats = client._async.wire_stats()
+    finally:
+        server.send_signal(signal.SIGTERM)
+        try:
+            server.wait(timeout=30)
+        except subprocess.TimeoutExpired:  # pragma: no cover - hang guard
+            server.kill()
+            server.wait(timeout=10)
+        server.stdout.close()
+    return {"cpu_seconds": best_cpu, "wall_seconds": best_wall,
+            "stats": stats}
+
+
+def run_remote_loopback(n_items: int = 200000, chunk: int = 16000,
+                        scenarios=LOOPBACK_SCENARIOS,
+                        repeats: int = 3) -> dict:
+    """CPU µs/item through ``repro serve`` vs the in-process hub.
+
+    One protection stream is fed in identical ``chunk``-item pushes
+    into a :class:`~repro.hub.StreamHub` directly, then through a
+    ``repro serve`` subprocess on 127.0.0.1 once per ``(transport,
+    wire)`` scenario.  Each scenario's ratio prices that serving
+    configuration — framing, payload encoding, loopback round trips,
+    credit bookkeeping — on top of the same scan, and its
+    ``bytes_on_wire`` / ``frames_sent`` counters (from the client's
+    codec-level accounting) make the codec wins visible next to the
+    timings.  All figures are **CPU seconds** (baseline: process time;
+    scenarios: client process time + server procfs delta) so a noisy
+    neighbour on a shared host cannot masquerade as protocol overhead;
+    ``wall_us_per_item`` rides along per scenario for context.
+    Checkpointing is off on both sides so the comparison isolates
+    serving cost, pushes carry ``chunk`` items so per-frame costs
+    amortize the way a fleet feeder's credit window does, and both the
+    baseline and every scenario take the best of ``repeats`` passes so
+    the ratios compare floors, not scheduler noise.  The top-level
+    ``remote_us_per_item`` / ``remote_overhead_ratio`` track the
+    ``tcp-binary`` scenario — the production path the regression guard
+    holds at <= 2.0x.
+    """
+    from repro.hub import StreamHub
 
     params = synthetic_params()
     data = np.asarray(reference_synthetic(n_items))
@@ -316,47 +431,47 @@ def run_remote_loopback(n_items: int = 40000, chunk: int = 2000) -> dict:
               for start in range(0, n_items, chunk)]
 
     # -- in-process hub baseline ---------------------------------------
-    hub = StreamHub()
-    hub.protect("bench", "1", DEFAULT_KEY, params=params,
-                encoding="initial")
-    start_time = time.perf_counter()
-    for piece in chunks:
-        hub.push("bench", piece)
-    hub.finish("bench")
-    hub_seconds = time.perf_counter() - start_time
-
-    # -- the same pushes over loopback TCP -----------------------------
-    loop = asyncio.new_event_loop()
-    thread = threading.Thread(target=loop.run_forever, daemon=True)
-    thread.start()
-    service = StreamService(checkpoint_every=0)
-    try:
-        host, port = asyncio.run_coroutine_threadsafe(
-            service.start(), loop).result(30)
-        with RemoteClient(host, port, push_items=chunk) as client:
-            session = client.protect("bench", "1", DEFAULT_KEY,
-                                     params=params, encoding="initial")
-            start_time = time.perf_counter()
-            for piece in chunks:
-                session.feed(piece)
-            session.finish()
-            remote_seconds = time.perf_counter() - start_time
-    finally:
-        asyncio.run_coroutine_threadsafe(service.drain(), loop).result(30)
-        loop.call_soon_threadsafe(loop.stop)
-        thread.join(timeout=5)
-        loop.close()
-
+    hub_seconds = float("inf")
+    for attempt in range(repeats):
+        hub = StreamHub()
+        hub.protect("bench", "1", DEFAULT_KEY, params=params,
+                    encoding="initial")
+        cpu0 = time.process_time()
+        for piece in chunks:
+            hub.push("bench", piece)
+        hub.finish("bench")
+        hub_seconds = min(hub_seconds, time.process_time() - cpu0)
     hub_us = 1e6 * hub_seconds / n_items
-    remote_us = 1e6 * remote_seconds / n_items
+
+    # -- the same pushes through each serving configuration ------------
+    measured = {}
+    for transport, wire in scenarios:
+        run = _loopback_scenario(data, chunk, params, transport, wire,
+                                 repeats=repeats)
+        us = 1e6 * run["cpu_seconds"] / n_items
+        stats = run["stats"]
+        measured[f"{transport}-{wire}"] = {
+            "transport": transport,
+            "wire": stats["wire"],
+            "us_per_item": round(us, 4),
+            "wall_us_per_item": round(
+                1e6 * run["wall_seconds"] / n_items, 4),
+            "overhead_ratio": round(us / hub_us, 3) if hub_us > 0 else 1.0,
+            "bytes_on_wire": stats["bytes_sent"] + stats["bytes_received"],
+            "frames_sent": stats["frames_sent"],
+            "frames_received": stats["frames_received"],
+        }
+
+    headline = measured.get("tcp-binary") \
+        or next(iter(measured.values()))
     return {
         "items": n_items,
         "chunk": chunk,
         "encoding": "initial",
         "inprocess_hub_us_per_item": round(hub_us, 4),
-        "remote_us_per_item": round(remote_us, 4),
-        "remote_overhead_ratio": round(remote_us / hub_us, 3)
-        if hub_us > 0 else 1.0,
+        "remote_us_per_item": headline["us_per_item"],
+        "remote_overhead_ratio": headline["overhead_ratio"],
+        "scenarios": measured,
     }
 
 

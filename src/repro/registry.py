@@ -33,6 +33,10 @@ Registered kinds and their calling conventions:
     A :class:`repro.stores.CheckpointStore` subclass; directory-backed
     stores are constructed as ``obj(path)``, process-local ones as
     ``obj()`` (see :func:`repro.stores.build_store`).
+``transport``
+    A :class:`repro.server.transports.Transport` subclass, constructed
+    as ``obj()`` (see :func:`repro.server.transports.build_transport`);
+    selects how the serving stack moves frame bodies between peers.
 
 Built-in components self-register when their home module is imported;
 the registry lazily imports those provider modules on first lookup, so
@@ -56,6 +60,7 @@ _PROVIDER_MODULES = (
     "repro.attacks",
     "repro.streams.generators",
     "repro.stores",
+    "repro.server.transports",
 )
 
 
@@ -80,7 +85,8 @@ class ComponentRegistry:
     """
 
     #: The component kinds the library defines.
-    KINDS = ("encoding", "transform", "attack", "generator", "store")
+    KINDS = ("encoding", "transform", "attack", "generator", "store",
+             "transport")
 
     provider_modules: tuple = _PROVIDER_MODULES
     _tables: "dict[str, dict[str, Registration]]" = field(init=False)

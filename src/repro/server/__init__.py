@@ -1,16 +1,21 @@
-"""Network serving layer: the :class:`~repro.hub.StreamHub` over TCP.
+"""Network serving layer: the :class:`~repro.hub.StreamHub`, served.
 
 This package turns the in-process streaming library into a deployable
 service (the SecureStreams / Gabriel middleware shape):
 
-* :mod:`repro.server.protocol` — a versioned, length-prefixed JSON
-  frame protocol (HELLO/OPEN/PUSH/FLUSH/RESULT/CREDIT/ERROR/BYE) with
-  strict decode validation and base64-encoded float64 payloads;
-* :mod:`repro.server.service` — an asyncio TCP server multiplexing one
-  :class:`~repro.hub.StreamHub` per tenant namespace with credit-based
-  per-stream flow control, periodic checkpointing through any
-  registered :class:`~repro.stores.CheckpointStore`, graceful drain on
-  SIGTERM and ``--recover`` restart;
+* :mod:`repro.server.protocol` — a versioned frame protocol
+  (HELLO/OPEN/PUSH/FLUSH/RESULT/CREDIT/ERROR/BYE) with strict decode
+  validation and negotiated frame codecs: wire 1 (JSON bodies, base64
+  float64 payloads — the original bytes) and wire 2 (struct-packed
+  binary bodies with raw little-endian float64 payloads);
+* :mod:`repro.server.transports` — pluggable message transports
+  (``tcp`` length-prefixed streams, ``websocket`` RFC 6455) registered
+  under the ``transport`` registry kind;
+* :mod:`repro.server.service` — a transport-blind asyncio server
+  multiplexing one :class:`~repro.hub.StreamHub` per tenant namespace
+  with credit-based per-stream flow control, periodic checkpointing
+  through any registered :class:`~repro.stores.CheckpointStore`,
+  graceful drain on SIGTERM and ``--recover`` restart;
 * :mod:`repro.server.client` — sync and async client SDKs whose
   :class:`~repro.server.client.RemoteSession` mirrors the
   :class:`~repro.pipeline.ProtectionSession` /
@@ -36,27 +41,53 @@ from repro.server.client import (
     RemoteSession,
 )
 from repro.server.protocol import (
+    CODECS,
     MAX_FRAME_BYTES,
+    MAX_WIRE,
     PROTOCOL_VERSION,
+    BinaryFrameCodec,
+    FrameCodec,
     FrameDecoder,
+    JsonFrameCodec,
+    codec_for,
     decode_array,
     decode_frame,
     encode_array,
     encode_frame,
+    resolve_wire,
 )
 from repro.server.service import StreamService
+from repro.server.transports import (
+    TcpTransport,
+    Transport,
+    TransportConnection,
+    WebSocketTransport,
+    build_transport,
+)
 
 __all__ = [
     "AsyncRemoteClient",
     "AsyncRemoteSession",
     "RemoteClient",
     "RemoteSession",
+    "CODECS",
     "MAX_FRAME_BYTES",
+    "MAX_WIRE",
     "PROTOCOL_VERSION",
+    "BinaryFrameCodec",
+    "FrameCodec",
     "FrameDecoder",
+    "JsonFrameCodec",
+    "codec_for",
     "decode_array",
     "decode_frame",
     "encode_array",
     "encode_frame",
+    "resolve_wire",
     "StreamService",
+    "TcpTransport",
+    "Transport",
+    "TransportConnection",
+    "WebSocketTransport",
+    "build_transport",
 ]

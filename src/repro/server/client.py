@@ -52,6 +52,7 @@ from repro.errors import (
     RemoteError,
 )
 from repro.server import protocol
+from repro.server.transports import TransportConnection, build_transport
 
 _EMPTY = np.empty(0, dtype=np.float64)
 
@@ -187,12 +188,24 @@ class AsyncRemoteClient:
     push_items:
         Maximum items per PUSH frame; larger chunks are split and
         pipelined inside the server's credit window.
+    transport:
+        Registered transport name (``tcp``, ``websocket``, or a
+        plugin); must match what the server listens on.
+    wire:
+        Wire version to request at HELLO — a codec name (``"json"``,
+        ``"binary"``) or number.  The server grants at most its own
+        maximum, and the client follows the grant.  ``"json"``/1 skips
+        negotiation entirely: the HELLO bytes (and every frame after)
+        are identical to a pre-negotiation client, which is also what
+        talking to an old server requires.
     """
 
     def __init__(self, host: str, port: int, *, tenant: str = "default",
                  reconnect_attempts: int = 40,
                  reconnect_delay: float = 0.25,
                  push_items: int = 4096,
+                 transport: str = "tcp",
+                 wire: "int | str" = protocol.MAX_WIRE,
                  max_frame_bytes: int = protocol.MAX_FRAME_BYTES) -> None:
         self._host = host
         self._port = int(port)
@@ -201,13 +214,22 @@ class AsyncRemoteClient:
         self._delay = float(reconnect_delay)
         self._push_items = max(1, int(push_items))
         self._max_frame_bytes = int(max_frame_bytes)
-        self._reader: "asyncio.StreamReader | None" = None
-        self._writer: "asyncio.StreamWriter | None" = None
+        self._transport_name = transport
+        self._transport = build_transport(transport)
+        self._wire = protocol.resolve_wire(wire)
+        self._channel: "TransportConnection | None" = None
+        self._codec = protocol.codec_for(protocol.WIRE_JSON)
         self._lock = asyncio.Lock()
         self._sessions: "dict[str, AsyncRemoteSession]" = {}
         self._credits: "dict[str, int]" = {}
         self.server_credits: "int | None" = None
         self.reconnects = 0
+        #: Wire version granted by the server on the live connection.
+        self.negotiated_wire: "int | None" = None
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.frames_sent = 0
+        self.frames_received = 0
 
     async def __aenter__(self) -> "AsyncRemoteClient":
         """Connect on entry."""
@@ -222,30 +244,48 @@ class AsyncRemoteClient:
     async def connect(self) -> None:
         """Dial the server and complete the HELLO handshake."""
         async with self._lock:
-            if self._writer is None:
+            if self._channel is None:
                 await self._dial()
 
     async def close(self) -> None:
         """Send BYE (best effort) and drop the connection."""
         async with self._lock:
-            if self._writer is None:
+            if self._channel is None:
                 return
             try:
                 await self._send({"type": "bye"})
-                await protocol.read_frame(self._reader,
-                                          max_bytes=self._max_frame_bytes)
+                # The server's goodbye surfaces as ConnectionResetError.
+                await self._read()
             except _CONNECTION_ERRORS + (RemoteError,):
                 pass
             await self._drop_transport()
 
+    def wire_stats(self) -> dict:
+        """Traffic snapshot: negotiated axes plus byte/frame counters.
+
+        ``bytes_*`` count frame bodies (what the codec produced), so
+        the numbers compare codecs rather than transports' per-message
+        framing overhead; the throughput bench records them per
+        scenario as ``bytes_on_wire``.
+        """
+        return {
+            "transport": self._transport_name,
+            "wire": self.negotiated_wire,
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
+            "frames_sent": self.frames_sent,
+            "frames_received": self.frames_received,
+        }
+
     async def _drop_transport(self) -> None:
-        if self._writer is not None:
+        if self._channel is not None:
             try:
-                self._writer.close()
-                await self._writer.wait_closed()
+                await self._channel.close()
             except (ConnectionError, OSError):
                 pass
-        self._reader = self._writer = None
+        self._channel = None
+        self._codec = protocol.codec_for(protocol.WIRE_JSON)
+        self.negotiated_wire = None
 
     async def _dial(self) -> None:
         """One connection attempt cycle: dial, handshake, resume streams."""
@@ -259,13 +299,28 @@ class AsyncRemoteClient:
             if attempt:
                 await asyncio.sleep(self._delay)
             try:
-                self._reader, self._writer = await asyncio.open_connection(
-                    self._host, self._port)
-                await self._send({"type": "hello",
-                                  "version": protocol.PROTOCOL_VERSION,
-                                  "tenant": self._tenant})
-                hello = await self._expect("hello")
-                self.server_credits = hello.get("credits", 1)
+                self._channel = await self._transport.connect(
+                    self._host, self._port,
+                    max_bytes=self._max_frame_bytes)
+                hello = {"type": "hello",
+                         "version": protocol.PROTOCOL_VERSION,
+                         "tenant": self._tenant}
+                # wire=1 sends (and expects back) the exact
+                # pre-negotiation HELLO — old servers reject unknown
+                # fields, so the request field only appears when a
+                # newer codec is actually wanted.
+                if self._wire > protocol.WIRE_JSON:
+                    hello["wire"] = self._wire
+                await self._send(hello)
+                reply = await self._expect("hello")
+                self.server_credits = reply.get("credits", 1)
+                granted = reply.get("wire", protocol.WIRE_JSON)
+                if granted > self._wire:
+                    raise ProtocolError(
+                        f"server granted wire version {granted}, newer "
+                        f"than the requested {self._wire}")
+                self._codec = protocol.codec_for(granted)
+                self.negotiated_wire = granted
                 await self._resume_sessions()
                 return
             except _CONNECTION_ERRORS as exc:
@@ -290,9 +345,7 @@ class AsyncRemoteClient:
                 # Replay sequentially (credit-safe); novel outputs land
                 # in the session's pending buffer for its next feed().
                 frame = await self._push_one(session, piece)
-                session._accept_output(
-                    protocol.decode_array(frame["values"],
-                                          source="result"))
+                session._accept_output(frame["values"])
 
     async def _open(self, session: AsyncRemoteSession,
                     resume: bool) -> dict:
@@ -313,8 +366,7 @@ class AsyncRemoteClient:
             # Redelivery of outputs we never acknowledged (e.g. a
             # result frame lost to a crash): they start exactly at our
             # delivery watermark, so everything is novel.
-            replay = protocol.decode_array(result["values"],
-                                           source="result")
+            replay = result["values"]
             session._delivered += replay.size
             if replay.size:
                 session._pending.append(replay)
@@ -323,10 +375,12 @@ class AsyncRemoteClient:
 
     # -- framed exchanges ------------------------------------------------
     async def _send(self, frame: dict) -> None:
-        if self._writer is None:
+        if self._channel is None:
             raise ConnectionResetError("not connected")
-        await protocol.write_frame(self._writer, frame,
-                                   max_bytes=self._max_frame_bytes)
+        body = self._codec.encode(frame, max_bytes=self._max_frame_bytes)
+        self.bytes_sent += len(body)
+        self.frames_sent += 1
+        await self._channel.write_message(body)
 
     async def _read(self) -> dict:
         """Read one frame; apply CREDIT grants, raise ERROR / BYE.
@@ -335,10 +389,14 @@ class AsyncRemoteClient:
         on the credit window can notice them; ERROR frames become
         :class:`RemoteError`, BYE and EOF become a lost connection.
         """
-        frame = await protocol.read_frame(
-            self._reader, max_bytes=self._max_frame_bytes)
-        if frame is None:
+        if self._channel is None:
+            raise ConnectionResetError("not connected")
+        body = await self._channel.read_message()
+        if body is None:
             raise ConnectionResetError("server closed the connection")
+        self.bytes_received += len(body)
+        self.frames_received += 1
+        frame = self._codec.decode(body, source="server")
         if frame["type"] == "credit":
             stream_id = frame["stream_id"]
             self._credits[stream_id] = \
@@ -379,7 +437,7 @@ class AsyncRemoteClient:
         session._seq += 1
         return ({"type": "push", "stream_id": session.stream_id,
                  "seq": seq, "delivered": session._delivered,
-                 "values": protocol.encode_array(piece)}, seq)
+                 "values": piece}, seq)
 
     async def _push_one(self, session: AsyncRemoteSession,
                         piece: np.ndarray) -> dict:
@@ -422,8 +480,7 @@ class AsyncRemoteClient:
                     f"expected push result seq "
                     f"{expected[0] if expected else '?'}, got {frame}")
             expected.popleft()
-            session._accept_output(
-                protocol.decode_array(frame["values"], source="result"))
+            session._accept_output(frame["values"])
 
     # -- session operations (called by AsyncRemoteSession) ---------------
     async def _register(self, stream_id: str, kind: str, key,
@@ -437,7 +494,7 @@ class AsyncRemoteClient:
                                      else str(key).encode("utf-8"),
                                      open_fields)
         async with self._lock:
-            if self._writer is None:
+            if self._channel is None:
                 await self._dial()
             try:
                 await self._open(session, resume=False)
@@ -454,7 +511,7 @@ class AsyncRemoteClient:
     async def _feed(self, session: AsyncRemoteSession,
                     array: np.ndarray) -> np.ndarray:
         async with self._lock:
-            if self._writer is None:
+            if self._channel is None:
                 await self._dial()
             try:
                 await self._pipeline(session,
@@ -470,7 +527,7 @@ class AsyncRemoteClient:
 
     async def _finish(self, session: AsyncRemoteSession) -> np.ndarray:
         async with self._lock:
-            if self._writer is None:
+            if self._channel is None:
                 await self._dial()
             while True:
                 try:
@@ -482,8 +539,7 @@ class AsyncRemoteClient:
                     break
                 except _CONNECTION_ERRORS:
                     await self._reconnect()
-            session._accept_output(
-                protocol.decode_array(frame["values"], source="result"))
+            session._accept_output(frame["values"])
             if "detection" in frame:
                 session._detection = frame["detection"]
             session._finished = True

@@ -1,9 +1,23 @@
-"""Wire protocol: versioned, length-prefixed JSON frames over TCP.
+"""Wire protocol: negotiated frame codecs over pluggable transports.
 
-Every message on a ``repro.server`` connection is one **frame**: a
-4-byte big-endian unsigned length prefix followed by that many bytes of
-UTF-8 JSON encoding a single object.  The object's ``type`` field names
-one of eight frame types:
+Every message on a ``repro.server`` connection is one **frame**.  How a
+frame becomes bytes is the job of a :class:`FrameCodec`, negotiated per
+connection at HELLO (see *Wire negotiation* below); how those bytes are
+delimited on the network is the job of a transport
+(:mod:`repro.server.transports`).  Two codecs ship:
+
+* ``wire=1`` (:class:`JsonFrameCodec`, name ``"json"``) — UTF-8 JSON
+  bodies with base64-encoded float64 payloads.  Kept byte-for-byte
+  identical to the original protocol, so version-1 clients interoperate
+  unmodified.
+* ``wire=2`` (:class:`BinaryFrameCodec`, name ``"binary"``) — a
+  struct-packed header, a small JSON *meta* section for the cold
+  fields, and the ``values`` payload as **raw little-endian float64
+  bytes** decoded straight into an array view: no base64, no per-item
+  Python objects on the hot path.
+
+Logically a frame is a mapping whose ``type`` field names one of eight
+frame types:
 
 ========  =========  =====================================================
 type      direction  meaning
@@ -19,9 +33,20 @@ error     s -> c     a request failed (code + message, stream if known)
 bye       both       orderly goodbye; the server's drain notice
 ========  =========  =====================================================
 
-Numeric payloads travel as base64-encoded little-endian float64 bytes
-(:func:`encode_array` / :func:`decode_array`), so values round-trip
-**bit-identically** — the whole point of the library.
+Numeric payloads round-trip **bit-identically** on both codecs — the
+whole point of the library.  Codec-decoded frames carry ``values`` as a
+float64 :class:`numpy.ndarray`; the module-level wire-1 helpers
+(:func:`encode_frame` / :func:`decode_frame` / :func:`read_frame`)
+preserve the original base64-text representation for compatibility.
+
+**Wire negotiation.**  The HELLO exchange always speaks wire 1 (JSON),
+so any client can open the conversation.  A client that can speak a
+newer codec adds ``wire: <max version>`` to its HELLO; the server
+answers with the version it granted (``min(requested, server max)``)
+and both sides switch codecs for every subsequent frame.  A HELLO
+without ``wire`` pins the connection to wire 1 and the server's reply
+omits the field — a version-1 client never sees a field it does not
+know.
 
 Client-to-server frames (``open``/``push``/``flush``) may carry a
 ``delivered`` field: the count of output items the client has safely
@@ -55,19 +80,37 @@ from repro.errors import ProtocolError
 #: mismatches are rejected during the handshake.
 PROTOCOL_VERSION = 1
 
+#: Wire (codec) versions: 1 = JSON frames, 2 = binary frames.
+WIRE_JSON = 1
+WIRE_BINARY = 2
+
 #: Default upper bound on one frame's JSON body, in bytes.  At 8 MiB a
 #: frame holds ~780k float64 items after base64 — far beyond a sane
 #: chunk — so anything larger is a corrupt or hostile length prefix.
 MAX_FRAME_BYTES = 8 * 1024 * 1024
 
+#: Absolute ceiling on any declared frame size, regardless of how large
+#: a caller sets its ``max_bytes``.  A hostile peer declaring a huge
+#: length must hit a clean :class:`ProtocolError` *before* any body
+#: buffering can grow toward an OOM — even on a decoder misconfigured
+#: with an enormous limit.
+HARD_MAX_FRAME_BYTES = 64 * 1024 * 1024
+
 _HEADER = struct.Struct(">I")
+
+
+def effective_max_bytes(max_bytes: int) -> int:
+    """The enforced frame-size cap: ``max_bytes`` clamped to the hard
+    ceiling (:data:`HARD_MAX_FRAME_BYTES`)."""
+    return min(int(max_bytes), HARD_MAX_FRAME_BYTES)
 
 #: Per-frame-type field contract: (required, optional).  Unknown fields
 #: are rejected — a field this library does not understand would
 #: otherwise be dropped silently (same strictness as checkpoints).
 _FRAME_FIELDS = {
     "hello": (frozenset({"type", "version"}),
-              frozenset({"tenant", "server", "credits"})),
+              frozenset({"tenant", "server", "credits", "wire",
+                         "transport"})),
     "open": (frozenset({"type", "stream_id", "kind", "key"}),
              frozenset({"watermark", "wm_length", "params", "encoding",
                         "encoding_options", "require_labels",
@@ -89,6 +132,8 @@ _FRAME_FIELDS = {
 _FIELD_TYPES = {
     "type": str,
     "version": int,
+    "wire": int,
+    "transport": str,
     "tenant": str,
     "server": str,
     "credits": int,
@@ -105,7 +150,7 @@ _FIELD_TYPES = {
     "resume": bool,
     "seq": int,
     "delivered": int,
-    "values": str,
+    "values": (str, np.ndarray),
     "op": str,
     "items_in": int,
     "items_out": int,
@@ -117,8 +162,9 @@ _FIELD_TYPES = {
 }
 
 #: Integer fields that must be non-negative.
-_NON_NEGATIVE = frozenset({"version", "credits", "seq", "wm_length",
-                           "items_in", "items_out", "delivered"})
+_NON_NEGATIVE = frozenset({"version", "wire", "credits", "seq",
+                           "wm_length", "items_in", "items_out",
+                           "delivered"})
 
 #: Fields that must be non-empty strings.
 _NON_EMPTY = frozenset({"type", "stream_id", "kind", "op", "code"})
@@ -165,8 +211,12 @@ def validate_frame(frame, *, source: str = "frame") -> dict:
                 f"{getattr(expected, '__name__', expected)}, got bool"
             )
         if not isinstance(value, expected):
-            expected_name = (expected.__name__ if isinstance(expected, type)
-                             else "number")
+            if isinstance(expected, type):
+                expected_name = expected.__name__
+            elif expected == (int, float):
+                expected_name = "number"
+            else:
+                expected_name = " or ".join(t.__name__ for t in expected)
             raise ProtocolError(
                 f"{source}: field {name!r} must be {expected_name}, got "
                 f"{type(value).__name__}"
@@ -182,18 +232,32 @@ def validate_frame(frame, *, source: str = "frame") -> dict:
     return frame
 
 
-def encode_frame(frame: dict, *, max_bytes: int = MAX_FRAME_BYTES) -> bytes:
-    """Serialize one validated frame to its length-prefixed wire form."""
+def _encode_json_body(frame: dict, *, max_bytes: int) -> bytes:
+    """Serialize one validated frame to its wire-1 JSON body bytes.
+
+    An ndarray ``values`` field is converted to its base64 text form in
+    place (same field position), so callers may hold payloads as arrays
+    and still emit bytes identical to a base64-text caller.
+    """
+    if isinstance(frame.get("values"), np.ndarray):
+        frame = {**frame, "values": encode_array(frame["values"])}
     validate_frame(frame, source="encode")
     try:
         body = json.dumps(frame, separators=(",", ":")).encode("utf-8")
     except (TypeError, ValueError) as exc:
         raise ProtocolError(f"frame is not JSON-serializable: {exc}") from exc
-    if len(body) > max_bytes:
+    limit = effective_max_bytes(max_bytes)
+    if len(body) > limit:
         raise ProtocolError(
-            f"frame of {len(body)} bytes exceeds the {max_bytes}-byte "
+            f"frame of {len(body)} bytes exceeds the {limit}-byte "
             "frame limit; push smaller chunks"
         )
+    return body
+
+
+def encode_frame(frame: dict, *, max_bytes: int = MAX_FRAME_BYTES) -> bytes:
+    """Serialize one validated frame to its length-prefixed wire-1 form."""
+    body = _encode_json_body(frame, max_bytes=max_bytes)
     return _HEADER.pack(len(body)) + body
 
 
@@ -215,32 +279,45 @@ class FrameDecoder:
 
     Feed raw bytes in any fragmentation; complete frames come out
     validated.  The decoder enforces the frame-size limit *from the
-    length prefix alone*, so an oversized or hostile prefix is rejected
-    before any buffering of its body.  Used by the fuzz tests and by
-    any sync transport.
+    length prefix alone* — clamped to the absolute
+    :data:`HARD_MAX_FRAME_BYTES` ceiling even if ``max_bytes`` is set
+    absurdly high — so an oversized or hostile prefix is rejected with
+    a clean :class:`ProtocolError` before any buffering of its body can
+    grow toward an OOM.  Used by the fuzz tests and by any sync
+    transport.
+
+    ``codec`` selects the body decoder: ``None`` keeps the legacy
+    wire-1 behaviour (``values`` stays base64 text); a
+    :class:`FrameCodec` decodes bodies through that codec (``values``
+    becomes an ndarray).
     """
 
     max_bytes: int = MAX_FRAME_BYTES
+    codec: "FrameCodec | None" = None
     _buffer: bytes = b""
 
     def feed(self, data: bytes) -> "list[dict]":
         """Consume ``data``; return every frame completed by it."""
         self._buffer += bytes(data)
+        limit = effective_max_bytes(self.max_bytes)
         frames = []
         while True:
             if len(self._buffer) < _HEADER.size:
                 return frames
             (length,) = _HEADER.unpack_from(self._buffer)
-            if length > self.max_bytes:
+            if length > limit:
                 raise ProtocolError(
                     f"frame length prefix {length} exceeds the "
-                    f"{self.max_bytes}-byte frame limit (corrupt stream?)"
+                    f"{limit}-byte frame limit (corrupt stream?)"
                 )
             if len(self._buffer) < _HEADER.size + length:
                 return frames
             body = self._buffer[_HEADER.size:_HEADER.size + length]
             self._buffer = self._buffer[_HEADER.size + length:]
-            frames.append(decode_frame(body))
+            if self.codec is None:
+                frames.append(decode_frame(body))
+            else:
+                frames.append(self.codec.decode(body))
 
     @property
     def pending_bytes(self) -> int:
@@ -265,9 +342,10 @@ async def read_frame(reader: asyncio.StreamReader, *,
             "connection closed mid-frame (inside the length prefix)"
         ) from exc
     (length,) = _HEADER.unpack(header)
-    if length > max_bytes:
+    limit = effective_max_bytes(max_bytes)
+    if length > limit:
         raise ProtocolError(
-            f"frame length prefix {length} exceeds the {max_bytes}-byte "
+            f"frame length prefix {length} exceeds the {limit}-byte "
             "frame limit (corrupt stream?)"
         )
     try:
@@ -317,6 +395,15 @@ def decode_array(text: str, *, source: str = "frame") -> np.ndarray:
     return np.frombuffer(raw, dtype="<f8").astype(np.float64)
 
 
+def as_float64(values) -> np.ndarray:
+    """Coerce a decoded payload to a native float64 array (no copy when
+    it already is one, as on little-endian machines)."""
+    array = np.asarray(values)
+    if array.dtype == np.float64:
+        return array
+    return array.astype(np.float64)
+
+
 def encode_key(key: bytes) -> str:
     """Encode secret key bytes for the OPEN frame (transport only —
     the server holds keys in memory and never persists them)."""
@@ -336,3 +423,218 @@ def decode_key(text: str, *, source: str = "frame") -> bytes:
     if not key:
         raise ProtocolError(f"{source}: key must not be empty")
     return key
+
+
+# ----------------------------------------------------------------------
+# frame codecs (the negotiated wire versions)
+# ----------------------------------------------------------------------
+class FrameCodec:
+    """One wire version: frame dict <-> frame body bytes.
+
+    Codecs are transport-agnostic — they see one frame *body* at a
+    time; message delimiting (length prefixes, WebSocket frames) is the
+    transport's job (:mod:`repro.server.transports`).  Decoded frames
+    carry ``values`` as a float64 ndarray; frames given to
+    :meth:`encode` may hold ``values`` as an ndarray or as wire-1
+    base64 text.
+    """
+
+    #: Numeric wire version carried in HELLO negotiation.
+    wire: int = 0
+    #: Human name used by ``--wire`` flags and bench scenario labels.
+    name: str = ""
+
+    def encode(self, frame: dict, *,
+               max_bytes: int = MAX_FRAME_BYTES) -> bytes:
+        """Validate and serialize one frame to its body bytes."""
+        raise NotImplementedError
+
+    def decode(self, body: bytes, *, source: str = "frame") -> dict:
+        """Decode and validate one frame body; ``values`` -> ndarray."""
+        raise NotImplementedError
+
+
+class JsonFrameCodec(FrameCodec):
+    """Wire version 1: UTF-8 JSON bodies, base64 float64 payloads.
+
+    The bytes this codec produces are identical to the original
+    (pre-negotiation) protocol, so a version-1 peer cannot tell it is
+    talking to a multi-codec implementation.
+    """
+
+    wire = WIRE_JSON
+    name = "json"
+
+    def encode(self, frame: dict, *,
+               max_bytes: int = MAX_FRAME_BYTES) -> bytes:
+        """Serialize one frame to JSON body bytes (arrays -> base64)."""
+        return _encode_json_body(frame, max_bytes=max_bytes)
+
+    def decode(self, body: bytes, *, source: str = "frame") -> dict:
+        """Decode a JSON body; the ``values`` field becomes an ndarray."""
+        frame = decode_frame(body, source=source)
+        if "values" in frame:
+            frame["values"] = decode_array(frame["values"], source=source)
+        return frame
+
+
+#: Binary frame body header: frame-type code (uint8), flags (uint8,
+#: bit 0 = a values payload follows the meta section), meta length
+#: (uint32 little-endian).
+_BINARY_HEADER = struct.Struct("<BBI")
+_BINARY_HAS_VALUES = 0x01
+_TYPE_CODES = {name: code + 1
+               for code, name in enumerate(sorted(_FRAME_FIELDS))}
+_TYPE_NAMES = {code: name for name, code in _TYPE_CODES.items()}
+
+
+class BinaryFrameCodec(FrameCodec):
+    """Wire version 2: struct-packed header + raw float64 payload.
+
+    Body layout::
+
+        offset 0  uint8   frame-type code (1..8, sorted frame names)
+        offset 1  uint8   flags (bit 0: values payload present)
+        offset 2  uint32  meta length M, little-endian
+        offset 6  M bytes meta: UTF-8 JSON object of every field except
+                          ``type`` and ``values``
+        offset 6+M ...    values payload: raw little-endian float64
+
+    The payload decodes with :func:`numpy.frombuffer` straight into an
+    array view over the received body — no base64, no per-item Python
+    objects — which is what drops the remote-serving overhead to near
+    the in-process cost.  Decoding is as strict as wire 1: bad type
+    codes, truncated headers, meta that is not a JSON object, meta
+    smuggling ``type``/``values`` fields, a payload that is not a whole
+    number of float64 items, or a payload on a flagless frame all raise
+    :class:`ProtocolError`.
+    """
+
+    wire = WIRE_BINARY
+    name = "binary"
+
+    def encode(self, frame: dict, *,
+               max_bytes: int = MAX_FRAME_BYTES) -> bytes:
+        """Serialize one frame to its binary body bytes."""
+        validate_frame(frame, source="encode")
+        values = frame.get("values")
+        if isinstance(values, str):
+            values = decode_array(values, source="encode")
+        meta = {name: value for name, value in frame.items()
+                if name not in ("type", "values")}
+        try:
+            meta_bytes = json.dumps(
+                meta, separators=(",", ":")).encode("utf-8")
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(
+                f"frame meta is not JSON-serializable: {exc}") from exc
+        payload = (np.ascontiguousarray(values, dtype="<f8").tobytes()
+                   if values is not None else b"")
+        flags = _BINARY_HAS_VALUES if values is not None else 0
+        body = (_BINARY_HEADER.pack(_TYPE_CODES[frame["type"]], flags,
+                                    len(meta_bytes))
+                + meta_bytes + payload)
+        limit = effective_max_bytes(max_bytes)
+        if len(body) > limit:
+            raise ProtocolError(
+                f"frame of {len(body)} bytes exceeds the {limit}-byte "
+                "frame limit; push smaller chunks"
+            )
+        return body
+
+    def decode(self, body: bytes, *, source: str = "frame") -> dict:
+        """Decode one binary body; the payload becomes an ndarray view."""
+        body = bytes(body)
+        if len(body) < _BINARY_HEADER.size:
+            raise ProtocolError(
+                f"{source}: binary frame of {len(body)} bytes is shorter "
+                f"than the {_BINARY_HEADER.size}-byte header"
+            )
+        type_code, flags, meta_len = _BINARY_HEADER.unpack_from(body)
+        type_name = _TYPE_NAMES.get(type_code)
+        if type_name is None:
+            raise ProtocolError(
+                f"{source}: unknown binary frame type code {type_code}"
+            )
+        if flags & ~_BINARY_HAS_VALUES:
+            raise ProtocolError(
+                f"{source}: unknown binary frame flags 0x{flags:02x}"
+            )
+        payload_offset = _BINARY_HEADER.size + meta_len
+        if payload_offset > len(body):
+            raise ProtocolError(
+                f"{source}: binary frame meta length {meta_len} overruns "
+                f"the {len(body)}-byte body (truncated?)"
+            )
+        try:
+            meta = json.loads(
+                body[_BINARY_HEADER.size:payload_offset].decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(
+                f"{source}: binary frame meta is not valid UTF-8 JSON: "
+                f"{exc}"
+            ) from exc
+        if not isinstance(meta, dict):
+            raise ProtocolError(
+                f"{source}: binary frame meta must be a JSON object, got "
+                f"{type(meta).__name__}"
+            )
+        if "type" in meta or "values" in meta:
+            raise ProtocolError(
+                f"{source}: binary frame meta must not carry "
+                "'type'/'values' fields"
+            )
+        frame = {"type": type_name, **meta}
+        payload_bytes = len(body) - payload_offset
+        if not flags & _BINARY_HAS_VALUES:
+            if payload_bytes:
+                raise ProtocolError(
+                    f"{source}: {payload_bytes} payload bytes on a frame "
+                    "whose flags declare no values"
+                )
+        else:
+            if payload_bytes % 8:
+                raise ProtocolError(
+                    f"{source}: values payload of {payload_bytes} bytes "
+                    "is not a whole number of float64 items (truncated?)"
+                )
+            frame["values"] = as_float64(
+                np.frombuffer(body, dtype="<f8", offset=payload_offset))
+        return validate_frame(frame, source=source)
+
+
+#: Wire version -> codec instance (codecs are stateless singletons).
+CODECS = {codec.wire: codec
+          for codec in (JsonFrameCodec(), BinaryFrameCodec())}
+
+#: The newest wire version this library speaks.
+MAX_WIRE = max(CODECS)
+
+
+def codec_for(wire: int) -> FrameCodec:
+    """The codec for a numeric wire version; unknown versions raise."""
+    codec = CODECS.get(wire)
+    if codec is None:
+        raise ProtocolError(
+            f"unknown wire version {wire!r}; this library speaks "
+            f"{sorted(CODECS)}"
+        )
+    return codec
+
+
+def resolve_wire(wire) -> int:
+    """Normalize a ``--wire`` value (name or number) to a wire version.
+
+    Accepts codec names (``"json"``, ``"binary"``) and their numeric
+    versions; anything else raises :class:`ProtocolError` listing the
+    valid spellings.
+    """
+    if isinstance(wire, str) and not wire.isdigit():
+        for codec in CODECS.values():
+            if codec.name == wire:
+                return codec.wire
+        raise ProtocolError(
+            f"unknown wire codec {wire!r}; valid names are "
+            f"{sorted(codec.name for codec in CODECS.values())}"
+        )
+    return codec_for(int(wire)).wire

@@ -1,10 +1,16 @@
-"""Asyncio TCP service: many tenants, many streams, one endpoint.
+"""Transport-blind serving engine: many tenants, one endpoint.
 
 :class:`StreamService` is the deployable face of the library — the
 SecureStreams / Gabriel middleware shape: one server multiplexes many
-stream sources behind one TCP endpoint, each tenant namespace backed by
+stream sources behind one endpoint, each tenant namespace backed by
 its own :class:`~repro.hub.StreamHub` and
-:class:`~repro.stores.CheckpointStore`.
+:class:`~repro.stores.CheckpointStore`.  The engine never touches
+sockets: it exchanges frame bodies through a named
+:class:`~repro.server.transports.Transport` (``tcp``, ``websocket``,
+or any plugin registered under the ``transport`` registry kind), and
+each connection's frame *encoding* is a negotiated
+:class:`~repro.server.protocol.FrameCodec` — JSON (wire 1, the
+original bytes) or binary (wire 2, raw float64 payloads).
 
 Design points:
 
@@ -29,6 +35,13 @@ Design points:
   handler) the service checkpoints every stream, notifies each
   connected client with ``BYE {reason: "drain"}``, closes, and the CLI
   exits 0.
+* **wire negotiation** — the HELLO exchange always travels as wire-1
+  JSON.  A client that can speak a newer codec adds ``wire: N`` to its
+  HELLO; the server grants ``min(N, its own max)`` and echoes the
+  grant (plus the transport name) in the reply, and both sides switch
+  codecs for every subsequent frame.  A client that sends no ``wire``
+  field gets a reply without one — byte-identical to the
+  pre-negotiation protocol — and the connection stays on JSON.
 * **crash recovery** — started with ``recover=True`` over an existing
   store, the service re-admits each checkpointed stream lazily when its
   client reconnects and re-supplies the key (checkpoints are key-free,
@@ -54,6 +67,8 @@ from repro.core.serialize import params_from_dict
 from repro.errors import ProtocolError, ReproError
 from repro.hub import StreamHub
 from repro.server import protocol
+from repro.server.transports import (Listener, TransportConnection,
+                                     build_transport)
 from repro.stores import build_store
 
 #: Default per-stream credit grant (outstanding PUSH frames).
@@ -77,40 +92,62 @@ def _key_fingerprint(tenant: str, stream_id: str, key: bytes) -> str:
 
 
 class _Connection:
-    """Per-connection state: tenant binding, owned streams, credits."""
+    """Per-connection state: tenant binding, codec, streams, credits."""
 
-    def __init__(self, reader: asyncio.StreamReader,
-                 writer: asyncio.StreamWriter) -> None:
-        self.reader = reader
-        self.writer = writer
+    def __init__(self, channel: TransportConnection,
+                 max_bytes: int) -> None:
+        self.channel = channel
+        self.codec: protocol.FrameCodec = protocol.codec_for(
+            protocol.WIRE_JSON)
+        self.max_bytes = max_bytes
         self.tenant: "str | None" = None
         self.hub: "StreamHub | None" = None
         #: stream_id -> remaining PUSH credits on this connection.
         self.credits: "dict[str, int]" = {}
-        peer = writer.get_extra_info("peername")
-        self.name = f"{peer[0]}:{peer[1]}" if peer else "client"
+        self.name = channel.peer
+
+    async def read(self) -> "dict | None":
+        """Read and decode one frame; ``None`` on clean end-of-stream."""
+        body = await self.channel.read_message()
+        if body is None:
+            return None
+        return self.codec.decode(body, source=f"frame from {self.name}")
 
     async def send(self, frame: dict) -> None:
-        """Validate and write one frame to this client."""
-        await protocol.write_frame(self.writer, frame)
+        """Encode (validating) and write one frame to this client."""
+        await self.channel.write_message(
+            self.codec.encode(frame, max_bytes=self.max_bytes))
+
+    async def send_many(self, frames: "list[dict]") -> None:
+        """Encode and write several frames in one transport batch."""
+        await self.channel.write_messages(
+            [self.codec.encode(frame, max_bytes=self.max_bytes)
+             for frame in frames])
 
     async def close(self) -> None:
         """Close the transport, swallowing teardown races."""
-        try:
-            self.writer.close()
-            await self.writer.wait_closed()
-        except (ConnectionError, OSError):
-            pass
+        await self.channel.close()
+
+    def abort(self) -> None:
+        """Drop the connection immediately (crash-path tests use this)."""
+        self.channel.abort()
 
 
 class StreamService:
-    """Serve :class:`~repro.hub.StreamHub` tenants over framed TCP.
+    """Serve :class:`~repro.hub.StreamHub` tenants over a transport.
 
     Parameters
     ----------
     host, port:
         Bind address.  Port 0 picks a free port; read it back from
         :attr:`address` after :meth:`start`.
+    transport:
+        Registered transport name (``tcp`` or ``websocket``; see the
+        ``transport`` rows of ``repro list``).
+    max_wire:
+        Newest wire version (codec name or number) this server will
+        grant during HELLO negotiation.  Clients always may negotiate
+        down; ``"json"``/1 pins the server to the original encoding.
     store_path:
         Root directory for durable per-tenant stores (each tenant gets
         ``store_path/<quoted-tenant>``).  ``None`` keeps checkpoints in
@@ -133,6 +170,8 @@ class StreamService:
     """
 
     def __init__(self, *, host: str = "127.0.0.1", port: int = 0,
+                 transport: str = "tcp",
+                 max_wire: "int | str" = protocol.MAX_WIRE,
                  store_path: "str | Path | None" = None,
                  store_backend: str = "directory",
                  credits: int = DEFAULT_CREDITS,
@@ -145,6 +184,9 @@ class StreamService:
             raise ReproError(f"credits must be >= 1, got {credits}")
         self._host = host
         self._port = port
+        self._transport_name = transport
+        self._transport = build_transport(transport)
+        self._max_wire = protocol.resolve_wire(max_wire)
         self._store_path = Path(store_path) if store_path is not None else None
         self._store_backend = store_backend
         self._credits = int(credits)
@@ -168,13 +210,15 @@ class StreamService:
         #: (tenant, stream_id) -> pushes since registration (cadence).
         self._push_counts: "dict[tuple[str, str], int]" = {}
         self._connections: "set[_Connection]" = set()
-        self._server: "asyncio.base_events.Server | None" = None
+        self._listener: "Listener | None" = None
         self._drained = asyncio.Event()
         self._draining = False
         self._flusher: "asyncio.Task | None" = None
         self.frames_in = 0
         self.pushes = 0
         self.errors = 0
+        #: wire version -> connections that negotiated it (lifetime).
+        self.wire_sessions: "dict[int, int]" = {}
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -189,10 +233,10 @@ class StreamService:
                     f"for {sum(len(v) for v in leftover.values())} "
                     "stream(s); start with --recover to resume them"
                 )
-        self._server = await asyncio.start_server(
-            self._handle_connection, self._host, self._port)
-        sock = self._server.sockets[0].getsockname()
-        self._host, self._port = sock[0], sock[1]
+        self._listener = await self._transport.serve(
+            self._host, self._port, self._handle_connection,
+            max_bytes=self._max_frame_bytes)
+        self._host, self._port = self._listener.address
         if self._checkpoint_interval:
             self._flusher = asyncio.create_task(self._checkpoint_loop())
         return self.address
@@ -218,8 +262,8 @@ class StreamService:
         try:
             if self._flusher is not None:
                 self._flusher.cancel()
-            if self._server is not None:
-                self._server.close()
+            if self._listener is not None:
+                self._listener.close()
             try:
                 self.checkpoint_all()
             except ReproError:
@@ -235,8 +279,8 @@ class StreamService:
                 except (ConnectionError, OSError, ProtocolError):
                     pass
                 await connection.close()
-            if self._server is not None:
-                await self._server.wait_closed()
+            if self._listener is not None:
+                await self._listener.wait_closed()
         finally:
             self._drained.set()
 
@@ -244,6 +288,27 @@ class StreamService:
         """Checkpoint every stream of every tenant hub now."""
         return {tenant: hub.checkpoint_all()
                 for tenant, hub in self._hubs.items()}
+
+    def status(self) -> dict:
+        """Operator snapshot: what this server speaks and has served.
+
+        Surfaces the negotiated axes — transport name, the newest wire
+        version the server grants, and how many connections negotiated
+        each wire version — next to the lifetime frame counters, so
+        ``repro serve``'s ready/drained lines can show what a running
+        server actually speaks.
+        """
+        return {
+            "transport": self._transport_name,
+            "max_wire": self._max_wire,
+            "wire_sessions": {str(wire): count for wire, count
+                              in sorted(self.wire_sessions.items())},
+            "connections": len(self._connections),
+            "tenants": sorted(self._hubs),
+            "frames_in": self.frames_in,
+            "pushes": self.pushes,
+            "errors": self.errors,
+        }
 
     def recoverable(self) -> "dict[str, list[str]]":
         """Checkpointed stream ids per tenant found under the store root.
@@ -413,9 +478,9 @@ class StreamService:
     # ------------------------------------------------------------------
     # connection handling
     # ------------------------------------------------------------------
-    async def _handle_connection(self, reader: asyncio.StreamReader,
-                                 writer: asyncio.StreamWriter) -> None:
-        connection = _Connection(reader, writer)
+    async def _handle_connection(self,
+                                 channel: TransportConnection) -> None:
+        connection = _Connection(channel, self._max_frame_bytes)
         self._connections.add(connection)
         try:
             if await self._handshake(connection):
@@ -428,9 +493,15 @@ class StreamService:
             await connection.close()
 
     async def _handshake(self, connection: _Connection) -> bool:
+        """HELLO exchange: bind the tenant, negotiate the wire codec.
+
+        The exchange itself always travels as wire-1 JSON.  The reply
+        carries ``wire``/``transport`` fields only when the client
+        *asked* for a wire version, so a pre-negotiation client — which
+        rejects unknown HELLO fields — receives byte-identical replies.
+        """
         try:
-            frame = await protocol.read_frame(
-                connection.reader, max_bytes=self._max_frame_bytes)
+            frame = await connection.read()
         except ProtocolError as exc:
             await self._send_error(connection, "protocol", str(exc))
             return False
@@ -447,13 +518,29 @@ class StreamService:
                 f"server speaks protocol {protocol.PROTOCOL_VERSION}, "
                 f"client sent {frame['version']}")
             return False
+        requested = frame.get("wire")
+        if requested is not None and requested < 1:
+            await self._send_error(
+                connection, "protocol",
+                f"requested wire version must be >= 1, got {requested}")
+            return False
         connection.tenant = frame.get("tenant", "default")
         connection.hub = self.hub_for(connection.tenant)
         from repro import __version__
-        await connection.send({"type": "hello",
-                               "version": protocol.PROTOCOL_VERSION,
-                               "server": f"repro/{__version__}",
-                               "credits": self._credits})
+        reply = {"type": "hello",
+                 "version": protocol.PROTOCOL_VERSION,
+                 "server": f"repro/{__version__}",
+                 "credits": self._credits}
+        granted = protocol.WIRE_JSON
+        if requested is not None:
+            granted = min(int(requested), self._max_wire)
+            reply["wire"] = granted
+            reply["transport"] = self._transport_name
+        await connection.send(reply)
+        # The reply still went out on the old codec; everything after
+        # it speaks the granted one (on both sides).
+        connection.codec = protocol.codec_for(granted)
+        self.wire_sessions[granted] = self.wire_sessions.get(granted, 0) + 1
         return True
 
     async def _serve_frames(self, connection: _Connection) -> None:
@@ -461,8 +548,7 @@ class StreamService:
                     "flush": self._on_flush}
         while not self._draining:
             try:
-                frame = await protocol.read_frame(
-                    connection.reader, max_bytes=self._max_frame_bytes)
+                frame = await connection.read()
             except ProtocolError as exc:
                 self.errors += 1
                 await self._send_error(connection, "protocol", str(exc))
@@ -576,7 +662,7 @@ class StreamService:
         replay = self._replay_slice(claim, delivered,
                                     offsets["items_out"])
         if replay is not None and replay.size:
-            result["values"] = protocol.encode_array(replay)
+            result["values"] = replay
         await connection.send(result)
         await connection.send({"type": "credit", "stream_id": stream_id,
                                "credits": self._credits})
@@ -628,7 +714,7 @@ class StreamService:
             return
         claim = (connection.tenant, stream_id)
         self._note_ack(claim, int(frame.get("delivered", 0)))
-        values = protocol.decode_array(frame["values"], source="push")
+        values = frame["values"]
         connection.credits[stream_id] -= 1
         try:
             out = connection.hub.push(stream_id, values)
@@ -645,14 +731,17 @@ class StreamService:
         # Buffer before sending: if the transport dies mid-send, the
         # release-time checkpoint persists these outputs for redelivery.
         self._buffer_output(claim, offsets["items_out"] - out.size, out)
-        await connection.send({"type": "result", "op": "push",
-                               "stream_id": stream_id, "seq": frame["seq"],
-                               "values": protocol.encode_array(out),
-                               "items_in": offsets["items_in"],
-                               "items_out": offsets["items_out"]})
+        result = {"type": "result", "op": "push",
+                  "stream_id": stream_id, "seq": frame["seq"],
+                  "values": out,
+                  "items_in": offsets["items_in"],
+                  "items_out": offsets["items_out"]}
         connection.credits[stream_id] += 1
-        await connection.send({"type": "credit", "stream_id": stream_id,
-                               "credits": 1})
+        # One transport batch: the client wakes once per push for the
+        # RESULT+CREDIT pair instead of twice (same frames either way).
+        await connection.send_many([result, {"type": "credit",
+                                             "stream_id": stream_id,
+                                             "credits": 1}])
         # The service owns the checkpoint cadence, *after* the result
         # reached the transport — a checkpoint between ingestion and
         # delivery would strand the released outputs on a crash.
@@ -676,7 +765,7 @@ class StreamService:
             tail = np.empty(0, dtype=np.float64)
         else:
             tail = hub.finish(stream_id)
-        result["values"] = protocol.encode_array(tail)
+        result["values"] = tail
         if stats["kind"] == "detection":
             result["detection"] = _detection_payload(hub.result(stream_id))
         offsets = hub.offsets(stream_id)

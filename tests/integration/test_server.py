@@ -74,9 +74,9 @@ class ServerHarness:
         service = self.service
 
         async def kill():
-            service._server.close()
+            service._listener.close()
             for connection in list(service._connections):
-                connection.writer.transport.abort()
+                connection.abort()
 
         self._call(kill())
         time.sleep(0.1)
@@ -237,7 +237,7 @@ class TestCrashRecovery:
             await original(self, connection, frame)
             state["count"] += 1
             if state["count"] == 3:  # results 1-3 sent, then the axe
-                connection.writer.transport.abort()
+                connection.abort()
 
         service._on_push = sabotage.__get__(service, StreamService)
         try:
@@ -352,6 +352,170 @@ class TestCrashRecovery:
         entry = hub.store.entry("draining")
         counters = entry["state"]["scan"]["counters"]
         assert counters["items"] == 1000
+
+
+@pytest.fixture(params=["tcp-json", "tcp-binary",
+                        "websocket-json", "websocket-binary"])
+def matrix(request, tmp_path):
+    """A running server + client kwargs for one transport x wire cell."""
+    transport, wire = request.param.split("-")
+    server = ServerHarness(tmp_path, checkpoint_every=1, credits=3,
+                           transport=transport)
+    server.start()
+    yield server, {"transport": transport, "wire": wire}
+    try:
+        server.drain()
+    except Exception:
+        pass
+    server.stop()
+
+
+class TestTransportWireMatrix:
+    """The core serving contracts on every transport x wire cell."""
+
+    def test_round_trip_bit_identical(self, matrix):
+        """Embed + detect through each cell == in-process, bit for bit."""
+        harness, kwargs = matrix
+        values = TemperatureSensorGenerator(eta=60, seed=51).generate(3000)
+        reference, _ = watermark_stream(values, "10", KEY, params=PARAMS)
+        host, port = harness.service.address
+        with RemoteClient(host, port, **kwargs) as client:
+            session = client.protect("m-embed", "10", KEY, params=PARAMS)
+            marked = feed_all(session, values)
+            stats = client._async.wire_stats()
+        assert np.array_equal(marked, reference)
+        assert stats["transport"] == kwargs["transport"]
+        assert stats["wire"] == protocol.resolve_wire(kwargs["wire"])
+        assert stats["frames_sent"] > 0
+        assert stats["bytes_received"] > 0
+
+        local = DetectionSession(2, KEY, params=PARAMS)
+        local.feed(reference)
+        local.finish()
+        expected = local.result()
+        with RemoteClient(host, port, **kwargs) as client:
+            session = client.detect("m-detect", 2, KEY, params=PARAMS)
+            feed_all(session, marked, chunk=700)
+            remote = session.result()
+        assert remote.buckets_true == expected.buckets_true
+        assert remote.wm_estimate() == expected.wm_estimate()
+
+    def test_kill_recover_reconnect_resume(self, matrix):
+        """SIGKILL + --recover + reconnect-resume works on every cell."""
+        harness, kwargs = matrix
+        values = TemperatureSensorGenerator(eta=60, seed=52).generate(4000)
+        host, port = harness.service.address
+        client = RemoteClient(host, port, reconnect_delay=0.1,
+                              reconnect_attempts=80, **kwargs)
+        try:
+            session = client.protect("m-pipe", "1", KEY, params=PARAMS)
+            out = [session.feed(values[start:start + 500])
+                   for start in range(0, 2000, 500)]
+            harness.crash()
+            harness.restart_recovered()
+            out += [session.feed(values[start:start + 500])
+                    for start in range(2000, 4000, 500)]
+            out.append(session.finish())
+            marked = np.concatenate([piece for piece in out if piece.size])
+        finally:
+            client.close()
+        assert client.reconnects >= 1
+        reference, _ = watermark_stream(values, "1", KEY, params=PARAMS)
+        assert np.array_equal(marked, reference)
+
+    def test_graceful_drain_checkpoints(self, matrix):
+        """Drain checkpoints open streams on every cell."""
+        harness, kwargs = matrix
+        values = TemperatureSensorGenerator(eta=60, seed=53).generate(1500)
+        host, port = harness.service.address
+        client = RemoteClient(host, port, **kwargs)
+        session = client.protect("m-drain", "1", KEY, params=PARAMS)
+        session.feed(values[:1000])
+        harness.drain()
+        client.close()
+        hub = harness.service.hub_for("default")
+        assert "m-drain" in hub.store
+        counters = hub.store.entry("m-drain")["state"]["scan"]["counters"]
+        assert counters["items"] == 1000
+
+
+class TestWireNegotiation:
+    def test_old_json_client_against_binary_capable_server(self, harness):
+        """A pre-negotiation client: HELLO carries no wire request, the
+        reply must carry no wire fields back (byte-compat), and the
+        whole conversation stays on wire-1 JSON — bit-identical
+        outputs."""
+        values = TemperatureSensorGenerator(eta=60, seed=54).generate(2000)
+        host, port = harness.service.address
+
+        async def legacy_roundtrip():
+            reader, writer = await asyncio.open_connection(host, port)
+            await protocol.write_frame(writer, {
+                "type": "hello", "version": protocol.PROTOCOL_VERSION})
+            hello = await protocol.read_frame(reader)
+            assert "wire" not in hello
+            assert "transport" not in hello
+            await protocol.write_frame(writer, {
+                "type": "open", "stream_id": "legacy",
+                "kind": "protection", "key": protocol.encode_key(KEY),
+                "watermark": "1", "params": _params_dict()})
+            await protocol.read_frame(reader)  # open result
+            await protocol.read_frame(reader)  # credit grant
+            await protocol.write_frame(writer, {
+                "type": "push", "stream_id": "legacy", "seq": 0,
+                "delivered": 0,
+                "values": protocol.encode_array(values)})
+            result = await protocol.read_frame(reader)
+            assert isinstance(result["values"], str)  # base64, not binary
+            await protocol.read_frame(reader)  # credit
+            await protocol.write_frame(writer, {
+                "type": "flush", "stream_id": "legacy",
+                "delivered": result["items_out"]})
+            flushed = await protocol.read_frame(reader)
+            writer.close()
+            return np.concatenate([
+                protocol.decode_array(result["values"]),
+                protocol.decode_array(flushed["values"])])
+
+        marked = asyncio.run(asyncio.wait_for(legacy_roundtrip(), 15))
+        reference, _ = watermark_stream(values, "1", KEY, params=PARAMS)
+        assert np.array_equal(marked, reference)
+        assert harness.service.wire_sessions.get(1, 0) >= 1
+
+    def test_json_pinned_server_downgrades_binary_client(self, tmp_path):
+        """A server capped at wire 1 grants 1 to a binary-asking client,
+        and the session still round-trips bit-identically."""
+        server = ServerHarness(tmp_path, checkpoint_every=1,
+                               max_wire="json")
+        server.start()
+        try:
+            values = TemperatureSensorGenerator(eta=60,
+                                                seed=55).generate(1500)
+            host, port = server.service.address
+            with RemoteClient(host, port, wire="binary") as client:
+                session = client.protect("capped", "1", KEY, params=PARAMS)
+                marked = feed_all(session, values)
+                assert client._async.negotiated_wire == 1
+            reference, _ = watermark_stream(values, "1", KEY,
+                                            params=PARAMS)
+            assert np.array_equal(marked, reference)
+        finally:
+            try:
+                server.drain()
+            except Exception:
+                pass
+            server.stop()
+
+    def test_status_reports_transport_and_wire(self, harness):
+        """The operator status surfaces the negotiated axes."""
+        host, port = harness.service.address
+        with RemoteClient(host, port, wire="binary") as client:
+            client.protect("st", "1", KEY, params=PARAMS)
+            status = harness.service.status()
+        assert status["transport"] == "tcp"
+        assert status["max_wire"] == protocol.MAX_WIRE
+        assert status["wire_sessions"].get("2") == 1
+        assert status["tenants"] == ["default"]
 
 
 class TestFlowControlAndErrors:

@@ -9,6 +9,7 @@ half-understood frame.
 
 from __future__ import annotations
 
+import json
 import struct
 
 import numpy as np
@@ -18,15 +19,24 @@ from hypothesis import strategies as st
 
 from repro.errors import ProtocolError
 from repro.server.protocol import (
+    CODECS,
+    HARD_MAX_FRAME_BYTES,
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
+    WIRE_BINARY,
+    WIRE_JSON,
+    BinaryFrameCodec,
     FrameDecoder,
+    JsonFrameCodec,
+    codec_for,
     decode_array,
     decode_frame,
     decode_key,
+    effective_max_bytes,
     encode_array,
     encode_frame,
     encode_key,
+    resolve_wire,
     validate_frame,
 )
 
@@ -201,3 +211,194 @@ class TestDecodeFuzz:
     def test_empty_key_rejected(self):
         with pytest.raises(ProtocolError, match="empty"):
             decode_key("")
+
+
+class TestCodecs:
+    """Negotiated wire codecs: equivalence, round-trips, selection."""
+
+    @pytest.mark.parametrize("frame", FRAMES,
+                             ids=[f["type"] for f in FRAMES])
+    def test_json_codec_bodies_byte_identical_to_wire1(self, frame):
+        """Wire 1 through the codec API is the original protocol,
+        byte for byte — an old peer cannot tell the difference."""
+        assert JsonFrameCodec().encode(frame) == encode_frame(frame)[4:]
+
+    @pytest.mark.parametrize("frame", FRAMES,
+                             ids=[f["type"] for f in FRAMES])
+    def test_binary_roundtrip_every_frame_shape(self, frame):
+        """Every frame shape survives wire 2 with float64 bit-identity."""
+        codec = BinaryFrameCodec()
+        decoded = codec.decode(codec.encode(frame))
+        expected = dict(frame)
+        if "values" in expected:
+            values = decode_array(expected.pop("values"))
+            out = decoded.pop("values")
+            assert isinstance(out, np.ndarray) and out.dtype == np.float64
+            assert out.tobytes() == values.tobytes()
+        assert decoded == expected
+
+    @pytest.mark.parametrize("frame", FRAMES,
+                             ids=[f["type"] for f in FRAMES])
+    def test_codecs_decode_to_the_same_frame(self, frame):
+        """Both codecs express the same frame; only the bytes differ."""
+        json_codec, binary_codec = JsonFrameCodec(), BinaryFrameCodec()
+        via_json = json_codec.decode(json_codec.encode(frame))
+        via_binary = binary_codec.decode(binary_codec.encode(frame))
+        values_json = via_json.pop("values", None)
+        values_binary = via_binary.pop("values", None)
+        assert via_json == via_binary
+        if values_json is not None:
+            assert values_json.tobytes() == values_binary.tobytes()
+
+    def test_binary_accepts_ndarray_values(self):
+        """Handlers push ndarrays straight through without base64."""
+        codec = BinaryFrameCodec()
+        values = np.array([0.1, -2.5, float("inf")])
+        frame = {"type": "push", "stream_id": "s1", "seq": 0,
+                 "values": values}
+        decoded = codec.decode(codec.encode(frame))
+        assert decoded["values"].tobytes() == values.tobytes()
+
+    def test_binary_is_smaller_than_json_for_payloads(self):
+        """Dropping base64 is the point: ~25% fewer payload bytes."""
+        frame = {"type": "push", "stream_id": "s1", "seq": 0,
+                 "values": np.arange(1000, dtype=np.float64)}
+        assert len(BinaryFrameCodec().encode(frame)) \
+            < 0.8 * len(JsonFrameCodec().encode(frame))
+
+    def test_codec_for_unknown_wire_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown wire version"):
+            codec_for(99)
+
+    def test_resolve_wire_names_and_numbers(self):
+        assert resolve_wire("json") == WIRE_JSON
+        assert resolve_wire("binary") == WIRE_BINARY
+        assert resolve_wire("1") == WIRE_JSON
+        assert resolve_wire(2) == WIRE_BINARY
+
+    @pytest.mark.parametrize("junk", ["msgpack", "0", 3, "-1"])
+    def test_resolve_wire_rejects_unknown(self, junk):
+        with pytest.raises(ProtocolError):
+            resolve_wire(junk)
+
+    def test_registry_is_consistent(self):
+        """Every registered codec is reachable by number and by name."""
+        for wire, codec in CODECS.items():
+            assert codec.wire == wire
+            assert codec_for(wire) is codec
+            assert resolve_wire(codec.name) == wire
+
+
+def _binary_body(frame=None, **overrides) -> bytearray:
+    """A valid wire-2 body as a mutable bytearray for corruption."""
+    frame = frame or {"type": "push", "stream_id": "s1", "seq": 0,
+                      "values": np.array([1.5, -2.5])}
+    return bytearray(BinaryFrameCodec().encode(frame, **overrides))
+
+
+class TestBinaryStrictness:
+    """Hostile wire-2 bodies die with clean ProtocolErrors."""
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(ProtocolError, match="header"):
+            BinaryFrameCodec().decode(bytes(_binary_body()[:5]))
+
+    @pytest.mark.parametrize("code", [0, 9, 255])
+    def test_unknown_type_code_rejected(self, code):
+        body = _binary_body()
+        body[0] = code
+        with pytest.raises(ProtocolError, match="type code"):
+            BinaryFrameCodec().decode(bytes(body))
+
+    def test_unknown_flag_bits_rejected(self):
+        body = _binary_body()
+        body[1] |= 0x80
+        with pytest.raises(ProtocolError):
+            BinaryFrameCodec().decode(bytes(body))
+
+    def test_meta_overrunning_body_rejected(self):
+        body = _binary_body()
+        struct.pack_into("<I", body, 2, len(body))  # meta_len > remaining
+        with pytest.raises(ProtocolError):
+            BinaryFrameCodec().decode(bytes(body))
+
+    def test_non_utf8_meta_rejected(self):
+        body = _binary_body({"type": "flush", "stream_id": "sX"})
+        offset = body.index(b"sX")
+        body[offset:offset + 2] = b"\xff\xfe"
+        with pytest.raises(ProtocolError):
+            BinaryFrameCodec().decode(bytes(body))
+
+    def test_non_object_meta_rejected(self):
+        meta = b"[1,2]"
+        body = struct.pack("<BBI", 4, 0, len(meta)) + meta
+        with pytest.raises(ProtocolError):
+            BinaryFrameCodec().decode(body)
+
+    @pytest.mark.parametrize("smuggled", ["type", "values"])
+    def test_meta_smuggling_reserved_fields_rejected(self, smuggled):
+        """The header owns ``type`` and the payload owns ``values`` —
+        a meta object must not override either."""
+        meta = json.dumps({"stream_id": "s1", smuggled: "x"}).encode()
+        body = struct.pack("<BBI", 4, 0, len(meta)) + meta
+        with pytest.raises(ProtocolError):
+            BinaryFrameCodec().decode(body)
+
+    def test_ragged_payload_rejected(self):
+        body = _binary_body()
+        with pytest.raises(ProtocolError, match="float64"):
+            BinaryFrameCodec().decode(bytes(body[:-3]))
+
+    def test_payload_without_flag_rejected(self):
+        meta = json.dumps({"stream_id": "s1"}).encode()
+        body = struct.pack("<BBI", 4, 0, len(meta)) + meta + b"\0" * 8
+        with pytest.raises(ProtocolError):
+            BinaryFrameCodec().decode(body)
+
+    def test_decoded_frames_are_validated(self):
+        """A well-formed body carrying an invalid frame still dies."""
+        meta = json.dumps({"credits": -1, "stream_id": "s1"}).encode()
+        body = struct.pack("<BBI", 2, 0, len(meta)) + meta
+        with pytest.raises(ProtocolError):
+            BinaryFrameCodec().decode(body)
+
+    def test_oversized_encode_rejected(self):
+        frame = {"type": "push", "stream_id": "s1", "seq": 0,
+                 "values": np.zeros(1000)}
+        with pytest.raises(ProtocolError, match="exceeds"):
+            BinaryFrameCodec().encode(frame, max_bytes=1024)
+
+    @given(st.binary(max_size=200))
+    def test_arbitrary_bodies_never_crash(self, data):
+        """Fuzz: garbage bodies raise ProtocolError, nothing rawer."""
+        try:
+            BinaryFrameCodec().decode(data)
+        except ProtocolError:
+            pass
+
+
+class TestHardFrameCap:
+    """The absolute frame-size ceiling holds whatever callers configure."""
+
+    def test_effective_max_bytes_clamps_to_hard_cap(self):
+        assert effective_max_bytes(10**15) == HARD_MAX_FRAME_BYTES
+        assert effective_max_bytes(1024) == 1024
+
+    def test_decoder_rejects_hostile_prefix_despite_huge_limit(self):
+        """A giant configured limit cannot disable the hard cap: the
+        prefix alone is rejected before any body bytes buffer."""
+        decoder = FrameDecoder(max_bytes=10**15)
+        with pytest.raises(ProtocolError, match="exceeds"):
+            decoder.feed(struct.pack(">I", HARD_MAX_FRAME_BYTES + 1))
+
+    @given(st.integers(HARD_MAX_FRAME_BYTES + 1, 2**32 - 1))
+    def test_any_over_cap_prefix_rejected(self, length):
+        """Fuzz: every over-cap declared length dies on arrival."""
+        decoder = FrameDecoder(max_bytes=HARD_MAX_FRAME_BYTES)
+        with pytest.raises(ProtocolError, match="exceeds"):
+            decoder.feed(struct.pack(">I", length) + b"x" * 16)
+
+    def test_in_range_prefix_still_buffers(self):
+        decoder = FrameDecoder(max_bytes=10**15)
+        assert decoder.feed(struct.pack(">I", 64) + b"{") == []
+        assert decoder.pending_bytes == 5
