@@ -4,12 +4,14 @@ from __future__ import annotations
 
 import math
 
+import pytest
 from _util import column_is_decreasing, report, run_once
 
 from repro.experiments.config import bench_scale
 from repro.experiments.fig11_overhead_quality import run_fig11a, run_fig11b
 
 
+@pytest.mark.slow  # exhaustive-search sweep, multi-second
 def test_fig11a_search_cost(benchmark):
     result = run_once(benchmark, run_fig11a, bench_scale())
     report(result)

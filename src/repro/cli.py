@@ -91,6 +91,12 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="known transform degree rho (default 1)")
     detect.add_argument("--expect", default=None,
                         help="expected payload to score against")
+    detect.add_argument("--workers", type=int, default=None,
+                        help="processes for span-parallel detection "
+                             "(vote buckets merge exactly; default serial)")
+    detect.add_argument("--spans", type=int, default=None,
+                        help="contiguous stream spans to scan "
+                             "independently (default: one per worker)")
 
     attack = sub.add_parser("attack", help="apply a transform/attack")
     add_common(attack, needs_key=False)
@@ -305,7 +311,8 @@ def _cmd_detect(args) -> int:
     params = _params(args)
     result = detect_watermark(values, args.bits, _require_key(args),
                               params=params, encoding=args.encoding,
-                              transform_degree=args.degree)
+                              transform_degree=args.degree,
+                              workers=args.workers, spans=args.spans)
     payload = {
         "votes": [result.votes(i) for i in range(result.wm_length)],
         "bias": [result.bias(i) for i in range(result.wm_length)],

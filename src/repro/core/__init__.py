@@ -46,7 +46,12 @@ from repro.core.encoding_multihash import (
     convention_pattern,
     expected_search_iterations,
 )
-from repro.core.encoding_quadres import QuadResEncoding, derive_prime, is_quadratic_residue
+from repro.core.encoding_quadres import (
+    QuadResEncoding,
+    derive_prime,
+    is_quadratic_residue,
+    jacobi_symbol,
+)
 from repro.core.extremes import (
     Extreme,
     average_subset_size,
@@ -57,6 +62,14 @@ from repro.core.extremes import (
     zigzag_pivots,
 )
 from repro.core.labels import StreamingLabeler, label_from_history, labels_for_extreme_values
+from repro.core.parallel_detect import (
+    DetectionTask,
+    detect_many,
+    detect_watermark_spans,
+    merge_results,
+    run_tasks,
+    split_spans,
+)
 from repro.core.params import WatermarkParams
 from repro.core.quality import (
     Alteration,
@@ -106,6 +119,13 @@ __all__ = [
     "QuadResEncoding",
     "derive_prime",
     "is_quadratic_residue",
+    "jacobi_symbol",
+    "DetectionTask",
+    "detect_many",
+    "detect_watermark_spans",
+    "merge_results",
+    "run_tasks",
+    "split_spans",
     "Extreme",
     "average_subset_size",
     "characteristic_subset",

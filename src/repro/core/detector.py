@@ -242,7 +242,8 @@ def detect_best(values, wm_length, key,
                 reference_subset_size: "float | None" = None,
                 expected=None,
                 require_labels: bool = True,
-                encoding_options: "dict | None" = None
+                encoding_options: "dict | None" = None,
+                workers: "int | None" = None
                 ) -> tuple[DetectionResult, float]:
     """Multi-pass offline detection over candidate transform degrees.
 
@@ -252,10 +253,20 @@ def detect_best(values, wm_length, key,
     ρ, and keep the most decisive evidence.  By default the candidates
     are ρ = 1 (value-only attacks preserve the rate) plus the Sec-4.2
     subset-shrinkage estimate when a reference statistic is available.
+    Candidate degrees are deduplicated at the same 0.25 tolerance the
+    shrinkage estimate uses, so a caller-supplied list cannot enqueue a
+    near-identical (and equally expensive) pass twice.
 
     ``expected`` (the payload the rights owner embedded, when known)
     scores each pass by the *signed* vote margin toward that payload;
-    without it the unsigned total bias is used.
+    without it the unsigned total bias is used.  Each pass is scored
+    exactly once; ties keep the earliest candidate (the scan is
+    deterministic, so "strictly better replaces" and "first wins ties"
+    together make the outcome order-stable).
+
+    ``workers`` fans the passes across a process pool (they are
+    independent scans of the same values); the winner is identical to
+    the serial sweep because all results come back in candidate order.
 
     Returns ``(best_result, best_degree)``.  Note the multiple-
     comparisons caveat: testing k hypotheses scales the false-positive
@@ -263,7 +274,10 @@ def detect_best(values, wm_length, key,
     the scheme's exponentially small Pfp values.
     """
     params = params or WatermarkParams()
-    degrees: list[float] = list(candidate_degrees or [1.0])
+    degrees: list[float] = []
+    for degree in (candidate_degrees or [1.0]):
+        if all(abs(float(degree) - d) > 0.25 for d in degrees):
+            degrees.append(float(degree))
     if reference_subset_size is not None:
         estimated = estimate_degree(reference_subset_size, values,
                                     params.prominence, params.delta)
@@ -279,16 +293,32 @@ def detect_best(values, wm_length, key,
                                         result.buckets_false,
                                         expected_bits))
 
+    if workers is not None and workers > 1 and len(degrees) > 1:
+        from repro.core.parallel_detect import DetectionTask, run_tasks
+
+        tasks = [DetectionTask(values=values, wm_length=wm_length, key=key,
+                               params=params, encoding=encoding,
+                               transform_degree=degree,
+                               require_labels=require_labels,
+                               encoding_options=encoding_options)
+                 for degree in degrees]
+        results = run_tasks(tasks, workers=workers)
+    else:
+        results = [detect_watermark(values, wm_length, key, params=params,
+                                    encoding=encoding,
+                                    transform_degree=degree,
+                                    require_labels=require_labels,
+                                    encoding_options=encoding_options)
+                   for degree in degrees]
+
     best: "DetectionResult | None" = None
+    best_score = 0
     best_degree = degrees[0]
-    for degree in degrees:
-        result = detect_watermark(values, wm_length, key, params=params,
-                                  encoding=encoding,
-                                  transform_degree=float(degree),
-                                  require_labels=require_labels,
-                                  encoding_options=encoding_options)
-        if best is None or score(result) > score(best):
+    for degree, result in zip(degrees, results):
+        result_score = score(result)
+        if best is None or result_score > best_score:
             best = result
+            best_score = result_score
             best_degree = degree
     assert best is not None  # degrees is never empty
     return best, best_degree
@@ -301,12 +331,20 @@ def detect_watermark(values, wm_length, key,
                      reference_subset_size: "float | None" = None,
                      require_labels: bool = True,
                      encoding_options: "dict | None" = None,
-                     chunk_size: int = 4096) -> DetectionResult:
+                     chunk_size: int = 4096,
+                     workers: "int | None" = None,
+                     spans: "int | None" = None) -> DetectionResult:
     """Offline detection over an in-memory (possibly transformed) stream.
 
     ``transform_degree="auto"`` estimates ρ from characteristic-subset
     shrinkage (Sec 4.2) and requires ``reference_subset_size`` — the
     ``average_subset_size`` recorded in the :class:`EmbedReport`.
+
+    ``workers`` > 1 cuts the stream into contiguous spans (``spans``,
+    default one per worker), scans them in a process pool and merges the
+    vote buckets exactly (they are additive — see
+    :mod:`repro.core.parallel_detect` for the merge law and the
+    span-boundary warmup caveat).
     """
     array = np.asarray(values, dtype=np.float64).ravel()
     if array.size == 0:
@@ -322,6 +360,16 @@ def detect_watermark(values, wm_length, key,
                               params.prominence, params.delta)
     else:
         rho = float(transform_degree)
+    if (workers is not None and workers > 1) or \
+            (spans is not None and spans > 1):
+        from repro.core.parallel_detect import detect_watermark_spans
+
+        return detect_watermark_spans(
+            array, wm_length, key, params=params, encoding=encoding,
+            transform_degree=rho, require_labels=require_labels,
+            encoding_options=encoding_options,
+            spans=spans if spans is not None else (workers or 1),
+            workers=workers)
     detector = StreamDetector(wm_length, key, params=params,
                               encoding=encoding, transform_degree=rho,
                               require_labels=require_labels,

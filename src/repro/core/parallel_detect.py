@@ -1,0 +1,218 @@
+"""Process-pool batch detection with exact vote-bucket merging.
+
+Detection is embarrassingly parallel along three axes the offline
+multi-pass story already exposes: candidate transform degrees ρ
+(:func:`repro.core.detector.detect_best` tries several), candidate keys
+(a rights holder screening a batch of suspect streams against its key
+ring), and contiguous chunk ranges of one long stream.  Each axis
+factors into independent :class:`DetectionTask` units that a
+``ProcessPoolExecutor`` fans out; the voting buckets ``wm[i]^T`` /
+``wm[i]^F`` are plain sums over selected extremes, so partial results
+merge *exactly* — :func:`merge_results` implements the bucket merge law
+
+    merged.buckets[i] = sum over parts of part.buckets[i]
+
+and likewise for abstentions and every scan counter.  Serial equals
+parallel for every split (property-tested).
+
+The one approximation lives in *where the split cuts*: span-parallel
+detection of a single stream re-warms the scanner at each span boundary
+(window fill, label history), so a handful of extremes near each cut
+may be skipped relative to the single-pass scan.  The merge itself adds
+no error; with spans much longer than the window the vote loss is a few
+votes per cut, and :func:`split_spans` refuses to produce spans shorter
+than a window multiple for exactly that reason.
+
+Workers are processes, not threads — the hot loops are pure Python and
+hold the GIL.  Tasks are pickled; :class:`~repro.util.hashing.KeyedHasher`
+carries a ``__reduce__`` for this.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.params import WatermarkParams
+from repro.core.scanner import ScanCounters
+from repro.errors import ParameterError
+
+# Late imports of detector internals happen inside functions: the
+# detector module imports this one for its ``workers=`` conveniences,
+# and Python's module machinery resolves the cycle only if neither side
+# needs the other at import time.
+
+
+@dataclass(frozen=True)
+class DetectionTask:
+    """One self-contained detection unit (picklable, order-preserving).
+
+    ``values`` is the (possibly transformed) stream slice to scan;
+    everything else mirrors the keyword surface of
+    :func:`repro.core.detector.detect_watermark`.
+    """
+
+    values: "np.ndarray"
+    wm_length: int
+    key: "bytes | str"
+    params: "WatermarkParams | None" = None
+    encoding: str = "multihash"
+    transform_degree: float = 1.0
+    require_labels: bool = True
+    encoding_options: "dict | None" = field(default=None, hash=False)
+
+    def __post_init__(self) -> None:
+        array = np.asarray(self.values, dtype=np.float64).ravel()
+        if array.size == 0:
+            raise ParameterError("cannot detect in an empty stream")
+        object.__setattr__(self, "values", array)
+
+
+def run_task(task: DetectionTask):
+    """Execute one task in the current process; returns DetectionResult."""
+    from repro.core.detector import detect_watermark
+
+    return detect_watermark(task.values, task.wm_length, task.key,
+                            params=task.params, encoding=task.encoding,
+                            transform_degree=task.transform_degree,
+                            require_labels=task.require_labels,
+                            encoding_options=task.encoding_options)
+
+
+def run_tasks(tasks: "list[DetectionTask]",
+              workers: "int | None" = None) -> list:
+    """Run tasks serially (``workers`` in {None, 0, 1}) or in a pool.
+
+    Results come back in task order either way (``Executor.map``
+    preserves ordering), so callers can zip them against their inputs.
+    The pool is sized ``min(workers, len(tasks))`` — idle workers cost
+    a fork each.
+    """
+    if workers is not None and workers < 0:
+        raise ParameterError(f"workers must be >= 0, got {workers}")
+    tasks = list(tasks)
+    if not tasks:
+        return []
+    if workers is None or workers <= 1 or len(tasks) == 1:
+        return [run_task(task) for task in tasks]
+    with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
+        return list(pool.map(run_task, tasks))
+
+
+def merge_results(results: "list"):
+    """Exact reduction of partial detection results (the merge law).
+
+    Buckets, abstentions and scan counters are additive across disjoint
+    evidence; the counter sum iterates the dataclass fields so a newly
+    added counter participates automatically.  All parts must agree on
+    watermark length and vote threshold — merging across different
+    thresholds would make ``wm_estimate`` ill-defined.
+    """
+    from repro.core.detector import DetectionResult
+
+    results = list(results)
+    if not results:
+        raise ParameterError("cannot merge zero detection results")
+    first = results[0]
+    wm_length = first.wm_length
+    threshold = first.vote_threshold
+    buckets_true = [0] * wm_length
+    buckets_false = [0] * wm_length
+    abstentions = 0
+    counter_fields = [f.name for f in dataclasses.fields(ScanCounters)]
+    counter_sums = {name: 0 for name in counter_fields}
+    for result in results:
+        if result.wm_length != wm_length:
+            raise ParameterError(
+                f"cannot merge results for {result.wm_length}-bit and "
+                f"{wm_length}-bit watermarks"
+            )
+        if result.vote_threshold != threshold:
+            raise ParameterError(
+                "cannot merge results with different vote thresholds "
+                f"({result.vote_threshold} vs {threshold})"
+            )
+        for i in range(wm_length):
+            buckets_true[i] += result.buckets_true[i]
+            buckets_false[i] += result.buckets_false[i]
+        abstentions += result.abstentions
+        for name in counter_fields:
+            counter_sums[name] += getattr(result.counters, name)
+    return DetectionResult(buckets_true=buckets_true,
+                           buckets_false=buckets_false,
+                           counters=ScanCounters(**counter_sums),
+                           abstentions=abstentions,
+                           vote_threshold=threshold)
+
+
+def split_spans(n_items: int, n_spans: int,
+                min_span: int = 1) -> "list[tuple[int, int]]":
+    """Contiguous ``[start, end)`` spans covering ``range(n_items)``.
+
+    Deterministic (earlier spans take the remainder) and never returns
+    a span shorter than ``min_span`` — the span count is reduced
+    instead, so a short stream degrades to fewer, larger parts rather
+    than to window-sized fragments that would lose most of their votes
+    to scanner warmup.
+    """
+    if n_items < 1:
+        raise ParameterError(f"n_items must be >= 1, got {n_items}")
+    if n_spans < 1:
+        raise ParameterError(f"n_spans must be >= 1, got {n_spans}")
+    if min_span < 1:
+        raise ParameterError(f"min_span must be >= 1, got {min_span}")
+    n_spans = max(1, min(n_spans, n_items // max(min_span, 1)) or 1)
+    base = n_items // n_spans
+    remainder = n_items % n_spans
+    spans: "list[tuple[int, int]]" = []
+    start = 0
+    for index in range(n_spans):
+        length = base + (1 if index < remainder else 0)
+        spans.append((start, start + length))
+        start += length
+    return spans
+
+
+def detect_watermark_spans(values, wm_length, key,
+                           params: "WatermarkParams | None" = None,
+                           encoding: str = "multihash",
+                           transform_degree: float = 1.0,
+                           require_labels: bool = True,
+                           encoding_options: "dict | None" = None,
+                           spans: int = 4,
+                           workers: "int | None" = None):
+    """Span-parallel detection of one long stream, merged exactly.
+
+    The stream is cut into ``spans`` contiguous ranges (each at least
+    eight windows long — see :func:`split_spans`), each range is scanned
+    independently (in ``workers`` processes when given), and the partial
+    votes are reduced with :func:`merge_results`.  See the module
+    docstring for the boundary-warmup caveat.
+    """
+    array = np.asarray(values, dtype=np.float64).ravel()
+    if array.size == 0:
+        raise ParameterError("cannot detect in an empty stream")
+    params = params or WatermarkParams()
+    ranges = split_spans(array.size, spans,
+                         min_span=8 * params.window_size)
+    tasks = [DetectionTask(values=array[start:end], wm_length=wm_length,
+                           key=key, params=params, encoding=encoding,
+                           transform_degree=transform_degree,
+                           require_labels=require_labels,
+                           encoding_options=encoding_options)
+             for (start, end) in ranges]
+    return merge_results(run_tasks(tasks, workers=workers))
+
+
+def detect_many(tasks: "list[DetectionTask]",
+                workers: "int | None" = None) -> list:
+    """Batch API: run many independent detections, preserving order.
+
+    This is the hub's screening surface — candidate keys x suspect
+    streams, each its own :class:`DetectionTask`.  No merging: each
+    task answers its own question.
+    """
+    return run_tasks(tasks, workers=workers)

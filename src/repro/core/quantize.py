@@ -188,3 +188,32 @@ class Quantizer:
         key = math.floor((float(value) + 0.5) * self._avg_scale)
         upper = (1 << self.avg_key_bits) - 1
         return min(max(key, 0), upper)
+
+    def average_key_array(self, means) -> np.ndarray:
+        """Vectorized :meth:`average_key` over precomputed sub-range means.
+
+        The caller supplies the means (so it controls the summation
+        order — the bit-identity contract lives there); this applies the
+        ``floor((m + 0.5) * 2^(b + e))`` keying and the clamp as array
+        ops.  ``floor`` of an IEEE double and ``math.floor`` of the same
+        double agree exactly (keys stay far below 2^52), so each entry
+        equals ``average_key`` of a sub-range with that mean.
+        """
+        array = np.asarray(means, dtype=np.float64)
+        keys = np.floor((array + 0.5) * self._avg_scale)
+        upper = (1 << self.avg_key_bits) - 1
+        # Clamp in float space first: received (attacked) streams can sit
+        # far outside the quantizer range, where an int64 cast of the
+        # raw floor would overflow instead of saturating like the
+        # scalar's min/max.
+        return np.clip(keys, 0, upper).astype(np.int64)
+
+    @property
+    def average_scale(self) -> float:
+        """The ``2^(b + e)`` multiplier of the average-key map."""
+        return float(self._avg_scale)
+
+    @property
+    def scale(self) -> float:
+        """The ``2^b`` cell count of the value map (dequantize divisor)."""
+        return float(self._scale)

@@ -60,6 +60,29 @@ SEED_US_PER_ITEM = {
 }
 
 
+#: (row name, encoding, options, active_run_length, max_subset_embed) for
+#: every configuration the throughput table measures; kept addressable by
+#: name so the speedup-floor gate can re-measure an individual row.
+BENCH_CONFIGURATIONS = (
+    ("initial", "initial", None, None, None),
+    ("quadres", "quadres", {"n_prefixes": 2}, None, None),
+    ("multihash-pruned-g6", "multihash", {"method": "pruned"}, 6, None),
+    ("multihash-pruned-g3", "multihash", {"method": "pruned"}, 3, None),
+    ("multihash-random-g2", "multihash", {"method": "random"}, 2, 5),
+)
+
+#: The exhaustive random-g3 row only runs at full scale (its expected
+#: cost per extreme is what Fig 11(a) calls exponential).
+BENCH_CONFIGURATION_FULL_SCALE = (
+    "multihash-random-g3", "multihash", {"method": "random"}, 3, 5)
+
+#: Rows whose ``speedup_vs_seed`` the ``--assert-speedups`` gate checks
+#: (the batched-encoding hot paths; ``initial`` predates them).
+SPEEDUP_GATED_ROWS = ("quadres", "multihash-pruned-g6",
+                      "multihash-pruned-g3", "multihash-random-g2",
+                      "multihash-random-g3")
+
+
 def machine_calibration(n_items: int = 6000) -> float:
     """µs/item of the *seed revision's* baseline loop on this machine.
 
@@ -140,7 +163,7 @@ def _embed_time(values: np.ndarray, encoding: str,
     return best
 
 
-def run_throughput(scale: float = 1.0) -> ExperimentResult:
+def run_throughput(scale: float = 1.0, sweeps: int = 3) -> ExperimentResult:
     """Per-item cost of each encoding vs the forwarding baseline.
 
     The random (exhaustive) multi-hash configurations cap the subset at
@@ -148,6 +171,17 @@ def run_throughput(scale: float = 1.0) -> ExperimentResult:
     ``2^23`` iterations per extreme — the exponential blow-up Fig 11(a)
     quantifies — which is exactly why the paper's full routine measured
     ~+1000% and why the pruned search exists.
+
+    Each configuration is measured in ``sweeps`` full passes over the
+    whole table, keeping the per-row *minimum*.  Consecutive
+    repetitions (what :func:`_embed_time` already does within a pass)
+    sample a single machine phase; burstable hosts swing their
+    effective frequency on a tens-of-seconds timescale, so spreading a
+    row's repetitions across sweeps gives every row an independent shot
+    at an undisturbed phase.  The workloads are deterministic, so the
+    minimum estimates true cost — repetition can only shed noise, never
+    manufacture speed.  The forwarding baseline is swept the same way
+    (it is just as frequency-sensitive as the rows it normalizes).
     """
     stream = reference_synthetic(scaled(6000, scale, 1500))
     n = len(stream)
@@ -156,17 +190,21 @@ def run_throughput(scale: float = 1.0) -> ExperimentResult:
     # steady-state per-item cost — the regime streaming middleware
     # actually runs in — rather than first-call warmup noise.
     _embed_time(np.array(stream[:min(n, 1500)]), "initial")
-    baseline = _read_and_copy(np.array(stream))
-    configurations = [
-        ("initial", "initial", None, None, None),
-        ("quadres", "quadres", {"n_prefixes": 2}, None, None),
-        ("multihash-pruned-g6", "multihash", {"method": "pruned"}, 6, None),
-        ("multihash-pruned-g3", "multihash", {"method": "pruned"}, 3, None),
-        ("multihash-random-g2", "multihash", {"method": "random"}, 2, 5),
-    ]
+    configurations = list(BENCH_CONFIGURATIONS)
     if scale >= 1.0:
-        configurations.append(
-            ("multihash-random-g3", "multihash", {"method": "random"}, 3, 5))
+        configurations.append(BENCH_CONFIGURATION_FULL_SCALE)
+    values = np.array(stream)
+    baseline = float("inf")
+    elapsed_by_name: "dict[str, float]" = {}
+    for _ in range(max(1, sweeps)):
+        baseline = min(baseline, _read_and_copy(values))
+        for name, encoding, options, run_length, subset_cap in \
+                configurations:
+            elapsed = _embed_time(values, encoding, options,
+                                  run_length, subset_cap)
+            previous = elapsed_by_name.get(name)
+            if previous is None or elapsed < previous:
+                elapsed_by_name[name] = elapsed
     result = ExperimentResult(
         experiment_id="throughput",
         title="µs/item per encoding; overhead vs per-item forwarding "
@@ -188,9 +226,8 @@ def run_throughput(scale: float = 1.0) -> ExperimentResult:
     result.add(configuration="read-and-copy", seconds=baseline,
                us_per_item=base_us, overhead_pct=0.0,
                speedup_vs_seed=speedup("read-and-copy", base_us))
-    for name, encoding, options, run_length, subset_cap in configurations:
-        elapsed = _embed_time(np.array(stream), encoding, options,
-                              run_length, subset_cap)
+    for name, _, _, _, _ in configurations:
+        elapsed = elapsed_by_name[name]
         us_per_item = 1e6 * elapsed / n
         result.add(configuration=name, seconds=elapsed,
                    us_per_item=us_per_item,
@@ -201,7 +238,8 @@ def run_throughput(scale: float = 1.0) -> ExperimentResult:
 
 def throughput_json(result: ExperimentResult, scale: float = 1.0,
                     hub_soak: "dict | None" = None,
-                    remote_loopback: "dict | None" = None) -> dict:
+                    remote_loopback: "dict | None" = None,
+                    detect_parallel: "dict | None" = None) -> dict:
     """The ``BENCH_throughput.json`` payload for a measured run."""
     encodings = {}
     for row in result.rows:
@@ -223,6 +261,8 @@ def throughput_json(result: ExperimentResult, scale: float = 1.0,
         payload["hub_soak"] = hub_soak
     if remote_loopback is not None:
         payload["remote_loopback"] = remote_loopback
+    if detect_parallel is not None:
+        payload["detect_parallel"] = detect_parallel
     return payload
 
 
@@ -482,6 +522,127 @@ _REFERENCE_N = 3000
 _REFERENCE_WATERMARK = "101"
 
 
+def run_detect_parallel(n_items: int = 140000, workers: int = 4) -> dict:
+    """Span-parallel detection scaling scenario (wall-clock).
+
+    One marked stream is cut into ``workers`` contiguous spans; the
+    *same* task list is detected serially and through the process pool,
+    so the measured ratio isolates pool scaling (fork + pickle overhead
+    against parallel scan time) from any span-boundary effect.  The
+    merged results of both runs must be *identical* — that is the
+    bucket merge law under test — and is reported as ``merge_exact``.
+
+    Wall-clock (``perf_counter``) is the right clock here: the pool's
+    work happens in child processes, which ``process_time`` would not
+    see.  ``speedup`` only means scaling on a machine with at least
+    ``workers`` cores; ``cpu_count`` is recorded so consumers can gate
+    on it (a 1-core container legitimately reports ~1x).
+    """
+    import os
+
+    from repro.core.parallel_detect import (DetectionTask, merge_results,
+                                            run_tasks, split_spans)
+
+    params = synthetic_params()
+    stream = np.array(reference_synthetic(n_items))
+    marked, _ = watermark_stream(stream, "1", DEFAULT_KEY, params=params)
+    ranges = split_spans(len(marked), workers,
+                         min_span=8 * params.window_size)
+    tasks = [DetectionTask(values=marked[start:end], wm_length=1,
+                           key=DEFAULT_KEY, params=params)
+             for (start, end) in ranges]
+    start_t = time.perf_counter()
+    serial_parts = run_tasks(tasks, workers=None)
+    serial_s = time.perf_counter() - start_t
+    start_t = time.perf_counter()
+    parallel_parts = run_tasks(tasks, workers=workers)
+    parallel_s = time.perf_counter() - start_t
+    merged_serial = merge_results(serial_parts)
+    merged_parallel = merge_results(parallel_parts)
+    return {
+        "items": int(n_items),
+        "spans": len(ranges),
+        "workers": int(workers),
+        "cpu_count": os.cpu_count() or 1,
+        "serial_s": round(serial_s, 4),
+        "parallel_s": round(parallel_s, 4),
+        "speedup": round(serial_s / parallel_s, 2) if parallel_s else 0.0,
+        "merge_exact": merged_serial == merged_parallel,
+        "total_bias": merged_parallel.total_bias,
+    }
+
+
+def check_speedups(result: ExperimentResult, floor: float,
+                   detect_parallel: "dict | None" = None,
+                   scaling_floor: float = 2.5) -> "list[str]":
+    """Gate the measured speedups against the seed figures.
+
+    Returns human-readable failures (empty == pass).  The floor is
+    rescaled by the forwarding-loop calibration — a machine slower than
+    the one that recorded :data:`SEED_US_PER_ITEM` owes proportionally
+    less — and a row that still misses is re-measured up to three more
+    times (min-of-runs, the same estimator the table uses) before
+    failing: CI runners get descheduled, and a one-off stall is not a
+    regression.  Burstable hosts swing their effective frequency on a
+    minutes timescale, so one calibration sampled at check time can
+    misrepresent the speed the *rows* were measured at; each retry
+    therefore re-probes the calibration immediately before timing and
+    is judged against its own adjacent floor.  ``detect_parallel`` adds
+    the merge-exactness check unconditionally and the pool-scaling
+    floor when the machine has enough cores for it to be meaningful.
+    """
+    failures: "list[str]" = []
+    seed_calibration = SEED_US_PER_ITEM["read-and-copy"]
+
+    def adjacent_floor() -> float:
+        slowdown = max(machine_calibration() / seed_calibration, 1.0)
+        return floor / slowdown
+
+    effective_floor = adjacent_floor()
+    by_name = {row[0]: row for row in
+               BENCH_CONFIGURATIONS + (BENCH_CONFIGURATION_FULL_SCALE,)}
+    measured = {row["configuration"]: row for row in result.rows}
+    for name in SPEEDUP_GATED_ROWS:
+        row = measured.get(name)
+        if row is None:
+            continue  # full-scale-only row absent at smoke scale
+        speedup = row["speedup_vs_seed"]
+        if speedup < effective_floor:
+            # Re-measure before failing: min over extra runs discards
+            # scheduler noise but can never manufacture speed.
+            _, encoding, options, run_length, subset_cap = by_name[name]
+            # Full-size stream regardless of the run's scale: the seed
+            # figures were recorded at full scale, so the retry compares
+            # like with like.
+            stream = np.array(reference_synthetic(6000))
+            best_us = row["us_per_item"]
+            for _ in range(3):
+                retry_floor = adjacent_floor()
+                elapsed = _embed_time(stream, encoding, options,
+                                      run_length, subset_cap)
+                best_us = min(best_us, 1e6 * elapsed / len(stream))
+                speedup = SEED_US_PER_ITEM[name] / best_us
+                effective_floor = retry_floor
+                if speedup >= effective_floor:
+                    break
+        if speedup < effective_floor:
+            failures.append(
+                f"{name}: speedup {speedup:.2f}x below floor "
+                f"{floor}x (calibration-adjusted {effective_floor:.2f}x)")
+    if detect_parallel is not None:
+        if not detect_parallel["merge_exact"]:
+            failures.append("detect_parallel: serial and pooled vote "
+                            "buckets diverged (merge law violated)")
+        if detect_parallel["cpu_count"] >= detect_parallel["workers"] \
+                and detect_parallel["speedup"] < scaling_floor:
+            failures.append(
+                f"detect_parallel: {detect_parallel['speedup']}x at "
+                f"{detect_parallel['workers']} workers below "
+                f"{scaling_floor}x on a {detect_parallel['cpu_count']}"
+                f"-core machine")
+    return failures
+
+
 def _reference_outputs() -> dict:
     """Embed + detect the fixed reference stream; digest the outputs."""
     stream = np.array(reference_synthetic(_REFERENCE_N))
@@ -543,6 +704,12 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument("--write-reference", metavar="PATH",
                         help="record current embed/detect outputs as the "
                              "reference")
+    parser.add_argument("--assert-speedups", type=float, metavar="FLOOR",
+                        default=None,
+                        help="fail unless every batched-encoding row "
+                             "beats FLOORx over the seed figures "
+                             "(calibration-adjusted) and the parallel "
+                             "vote merge is exact")
     args = parser.parse_args(argv)
 
     result = run_throughput(args.scale)
@@ -559,13 +726,29 @@ def main(argv: "list[str] | None" = None) -> int:
           f"{loopback['remote_us_per_item']} us/item vs in-process "
           f"{loopback['inprocess_hub_us_per_item']} us/item "
           f"(ratio {loopback['remote_overhead_ratio']})")
+    parallel = run_detect_parallel(
+        n_items=max(70000, int(140000 * min(args.scale, 1.0))))
+    print(f"detect parallel ({parallel['items']} items, "
+          f"{parallel['spans']} spans): {parallel['speedup']}x at "
+          f"{parallel['workers']} workers on {parallel['cpu_count']} "
+          f"cores, merge_exact={parallel['merge_exact']}")
     if args.json:
         with open(args.json, "w") as handle:
             json.dump(throughput_json(result, args.scale, hub_soak=soak,
-                                      remote_loopback=loopback),
+                                      remote_loopback=loopback,
+                                      detect_parallel=parallel),
                       handle, indent=1)
             handle.write("\n")
         print(f"wrote {args.json}")
+    if args.assert_speedups is not None:
+        failures = check_speedups(result, args.assert_speedups,
+                                  detect_parallel=parallel)
+        if failures:
+            for line in failures:
+                print(f"SPEEDUP FLOOR MISSED — {line}")
+            return 1
+        print(f"speedup floors held (>= {args.assert_speedups}x, "
+              "merge exact)")
     if args.write_reference:
         write_reference(args.write_reference)
         print(f"recorded reference outputs at {args.write_reference}")

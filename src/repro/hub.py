@@ -184,6 +184,33 @@ class StreamHub:
                     DetectionSession(wm_length, key, **session_kwargs),
                     key)
 
+    @staticmethod
+    def detect_batch(jobs, workers: "int | None" = None) -> list:
+        """Screen a batch of suspect streams, optionally in parallel.
+
+        ``jobs`` is a list of :class:`repro.core.parallel_detect.
+        DetectionTask` or of tuples ``(values, wm_length, key)`` /
+        ``(values, wm_length, key, kwargs)`` — the rights holder's
+        key-ring sweep: every (stream, key) pair is an independent
+        detection, so they fan out across ``workers`` processes and the
+        results come back in job order.  This is offline whole-stream
+        screening and touches no hub session state, hence a staticmethod
+        on the hub only as the natural batch entry point.
+        """
+        from repro.core.parallel_detect import DetectionTask, detect_many
+
+        tasks = []
+        for job in jobs:
+            if isinstance(job, DetectionTask):
+                tasks.append(job)
+            else:
+                values, wm_length, key = job[0], job[1], job[2]
+                kwargs = dict(job[3]) if len(job) > 3 else {}
+                tasks.append(DetectionTask(values=values,
+                                           wm_length=wm_length,
+                                           key=key, **kwargs))
+        return detect_many(tasks, workers=workers)
+
     def _check_new_id(self, stream_id: str) -> None:
         if not isinstance(stream_id, str) or not stream_id:
             raise HubError(

@@ -125,6 +125,13 @@ class KeyedHasher:
         base.update(self.key)
         object.__setattr__(self, "_base_context", base)
 
+    def __reduce__(self):
+        """Pickle as ``(key, algorithm)`` — the digest context is not
+        picklable, but it is derived state the constructor rebuilds.
+        Needed so detection tasks can cross a process-pool boundary.
+        """
+        return (KeyedHasher, (self.key, self.algorithm))
+
     def hash_int(self, value: "int | bytes | str") -> int:
         """Return ``H(value, key)`` as an unbounded integer."""
         digest_context = self._base_context.copy()
@@ -172,3 +179,96 @@ class KeyedHasher:
         """
         sub_key = hashlib.sha256(self.key + purpose.encode("utf-8")).digest()
         return KeyedHasher(sub_key, self.algorithm)
+
+
+class PatternProber:
+    """Batched ``lsb(H(avg_key, label), ω)`` probes with a bounded memo.
+
+    This is the multi-hash convention probe (paper Sec 4.3) factored out
+    of the encoding so both search and detection share one memo and one
+    pre-fed digest context.  The payload is the fixed-width keyed
+    sandwich ``hash(k ; avg_key_8B ; label_8B ; k)`` — identical bytes to
+    :func:`repro.core.encoding_multihash.convention_pattern`.
+
+    The memo is bounded; when full, the *oldest half* is evicted
+    (dict insertion order) instead of wiping the table.  A full wipe
+    throws away the hot ``(avg_key, label)`` pairs the pruned search is
+    actively re-testing across backtracking candidates, forcing a
+    re-hash storm exactly when the search is struggling; keeping the
+    young half preserves the working set at the same O(1) amortized
+    bookkeeping cost.
+    """
+
+    __slots__ = ("_key", "_mask", "_copy", "_memo", "_limit")
+
+    def __init__(self, key: bytes, omega: int, algorithm: str = "md5",
+                 memo_limit: int = 1 << 16) -> None:
+        if algorithm not in _SUPPORTED_ALGORITHMS:
+            raise ParameterError(
+                f"unsupported hash algorithm {algorithm!r}; "
+                f"choose one of {_SUPPORTED_ALGORITHMS}"
+            )
+        if omega < 1:
+            raise ParameterError(f"omega must be >= 1, got {omega}")
+        if memo_limit < 2:
+            raise ParameterError(
+                f"memo_limit must be >= 2, got {memo_limit}")
+        self._key = _coerce_key(key)
+        self._mask = (1 << omega) - 1
+        base = hashlib.new(algorithm)
+        base.update(self._key)
+        self._copy = base.copy
+        self._memo: "dict[tuple[int, int], int]" = {}
+        self._limit = memo_limit
+
+    def pattern(self, avg_key: int, label: int) -> int:
+        """One convention probe (memoized)."""
+        probe = (avg_key, label)
+        memo = self._memo
+        found = memo.get(probe)
+        if found is None:
+            context = self._copy()
+            context.update(avg_key.to_bytes(8, "big")
+                           + label.to_bytes(8, "big") + self._key)
+            found = int.from_bytes(context.digest()[-3:], "big") & self._mask
+            if len(memo) >= self._limit:
+                self._evict()
+            memo[probe] = found
+        return found
+
+    def patterns(self, avg_keys, label: int) -> "list[int]":
+        """Probe many averages against one label in a tight loop.
+
+        Accepts any iterable of ints (numpy arrays included); returns a
+        plain list aligned with the input.  Locals are bound outside the
+        loop — this is the per-candidate hot path of the batched search.
+        """
+        memo = self._memo
+        copy = self._copy
+        mask = self._mask
+        tail = label.to_bytes(8, "big") + self._key
+        out: "list[int]" = []
+        append = out.append
+        for avg_key in (avg_keys.tolist()
+                        if hasattr(avg_keys, "tolist") else avg_keys):
+            probe = (avg_key, label)
+            found = memo.get(probe)
+            if found is None:
+                context = copy()
+                context.update(avg_key.to_bytes(8, "big") + tail)
+                found = int.from_bytes(context.digest()[-3:], "big") & mask
+                if len(memo) >= self._limit:
+                    self._evict()
+                memo[probe] = found
+            append(found)
+        return out
+
+    def _evict(self) -> None:
+        """Drop the oldest half of the memo, keeping the recent entries."""
+        memo = self._memo
+        survivors = list(memo.items())[len(memo) // 2:]
+        memo.clear()
+        memo.update(survivors)
+
+    def __len__(self) -> int:
+        return len(self._memo)

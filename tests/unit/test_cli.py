@@ -37,6 +37,27 @@ class TestEmbedDetect:
         assert detect_info["match_fraction"] == 1.0
         assert detect_info["estimate"] == ["1"]
 
+    def test_detect_spans_flag(self, stream_file, tmp_path, capsys):
+        """--spans routes through the span-merge path.
+
+        With the default 2048-item window the 5000-item stream is below
+        the 8-window span floor, so the split degrades to one span and
+        the output must be *identical* to the plain serial detect.
+        """
+        marked_path = tmp_path / "marked.csv"
+        main(["embed", str(stream_file), str(marked_path),
+              "--key", "cli-key", "--watermark", "1"])
+        capsys.readouterr()
+
+        code = main(["detect", str(marked_path), "--key", "cli-key"])
+        assert code == 0
+        serial = json.loads(capsys.readouterr().out)
+        code = main(["detect", str(marked_path), "--key", "cli-key",
+                     "--spans", "2"])
+        assert code == 0
+        spanned = json.loads(capsys.readouterr().out)
+        assert spanned == serial
+
     def test_detect_wrong_key_low_bias(self, stream_file, tmp_path, capsys):
         marked_path = tmp_path / "marked.csv"
         main(["embed", str(stream_file), str(marked_path),

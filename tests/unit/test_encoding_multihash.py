@@ -161,6 +161,22 @@ class TestEmbedDetect:
         assert encoding.last_stats.iterations >= 1
         assert encoding.last_stats.constraints > 0
 
+    def test_stats_reset_when_search_raises(self):
+        """Regression: a failed embed must not leave stale stats behind.
+
+        ``embed`` clears ``last_stats`` on entry, so a caller that
+        catches :class:`EncodingSearchExhausted` never reads the stats
+        of an *earlier*, unrelated embed.
+        """
+        params = PARAMS.with_updates(max_search_iterations=20,
+                                     active_run_length=6)
+        encoding = MultihashEncoding(params, QUANTIZER, HASHER, rng=3)
+        encoding.embed(make_subset(size=2), 0, 17, True)
+        assert encoding.last_stats is not None
+        with pytest.raises(EncodingSearchExhausted):
+            encoding.embed(make_subset(size=6), 3, 17, True)
+        assert encoding.last_stats is None
+
 
 class TestSummarizationConsistency:
     """The core Sec-4.3 resilience property, at encoding level."""

@@ -13,7 +13,7 @@ from repro.core.encoding_quadres import (
 )
 from repro.core.params import WatermarkParams
 from repro.core.quantize import Quantizer
-from repro.errors import ParameterError
+from repro.errors import EncodingSearchExhausted, ParameterError
 from repro.util.hashing import KeyedHasher
 
 PARAMS = WatermarkParams()
@@ -103,6 +103,22 @@ class TestEncoding:
         with pytest.raises(ParameterError):
             QuadResEncoding(PARAMS, QUANTIZER, HASHER,
                             n_prefixes=PARAMS.lsb_bits)
+
+    def test_stats_reset_when_search_raises(self):
+        """Regression: a failed embed must not leave stale stats behind.
+
+        With a 2-iteration budget and k=1, q=0 encodes but q=52 does
+        not (both candidate LSB patterns are non-residues under this
+        key).  The failed embed must clear ``last_stats`` rather than
+        leave the earlier embed's stats dangling.
+        """
+        params = PARAMS.with_updates(max_search_iterations=2)
+        encoding = QuadResEncoding(params, QUANTIZER, HASHER, n_prefixes=1)
+        encoding.embed([0], 0, 1, True)
+        assert encoding.last_stats is not None
+        with pytest.raises(EncodingSearchExhausted):
+            encoding.embed([52], 0, 1, True)
+        assert encoding.last_stats is None
 
     def test_random_data_votes_balanced(self):
         encoding = QuadResEncoding(PARAMS, QUANTIZER, HASHER, n_prefixes=2)

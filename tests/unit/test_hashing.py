@@ -7,7 +7,7 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.errors import KeyError_, ParameterError
-from repro.util.hashing import H, KeyedHasher, hash_to_int
+from repro.util.hashing import H, KeyedHasher, PatternProber, hash_to_int
 
 
 class TestH:
@@ -97,3 +97,53 @@ class TestKeyedHasher:
     def test_rejects_unknown_algorithm(self):
         with pytest.raises(ParameterError):
             KeyedHasher(b"k1", algorithm="md4")
+
+
+class TestPatternProber:
+    def test_matches_convention_pattern(self):
+        from repro.core.encoding_multihash import convention_pattern
+
+        prober = PatternProber(b"k1", omega=3)
+        for avg_key in range(40):
+            assert prober.pattern(avg_key, 9) == \
+                convention_pattern(b"k1", avg_key, 9, 3)
+
+    def test_patterns_matches_scalar_probes(self):
+        prober = PatternProber(b"k1", omega=2)
+        avg_keys = list(range(0, 400, 7))
+        assert prober.patterns(avg_keys, 5) == \
+            [prober.pattern(a, 5) for a in avg_keys]
+
+    def test_full_memo_keeps_recent_hits(self):
+        """Regression: eviction must keep the *young* half of the memo.
+
+        The old behaviour wiped the whole table at the limit, which
+        discarded the hot (avg_key, label) pairs the pruned search was
+        actively re-testing.  Filling the memo past its limit must
+        leave the most recent probes cached.
+        """
+        prober = PatternProber(b"k1", omega=2, memo_limit=8)
+        for avg_key in range(9):  # the 9th insert triggers eviction
+            prober.pattern(avg_key, 1)
+        assert len(prober) == 5  # survivors (4 young) + the new entry
+        memo = prober._memo
+        # The most recent pre-eviction probes survived...
+        for avg_key in (5, 6, 7, 8):
+            assert (avg_key, 1) in memo
+        # ...and the oldest were the ones dropped.
+        for avg_key in (0, 1, 2, 3):
+            assert (avg_key, 1) not in memo
+
+    def test_eviction_preserves_values(self):
+        prober = PatternProber(b"k1", omega=3, memo_limit=4)
+        fresh = PatternProber(b"k1", omega=3)
+        for avg_key in range(50):
+            assert prober.pattern(avg_key, 2) == fresh.pattern(avg_key, 2)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            PatternProber(b"k1", omega=0)
+        with pytest.raises(ParameterError):
+            PatternProber(b"k1", omega=1, memo_limit=1)
+        with pytest.raises(ParameterError):
+            PatternProber(b"k1", omega=1, algorithm="md4")
