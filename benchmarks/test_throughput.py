@@ -25,6 +25,8 @@ from repro.experiments.throughput import (
     _embed_time,
     machine_calibration,
     run_hub_soak,
+    run_loadgen_churn,
+    run_metrics_overhead,
     run_remote_loopback,
     run_throughput,
     throughput_json,
@@ -61,12 +63,49 @@ def test_throughput_overheads(benchmark):
               f"{scenario['frames_sent']}+{scenario['frames_received']} "
               f"frames")
 
+    # Observability pricing: an enabled registry must stay within 5% of
+    # the null-instrument push path ("near-zero cost when disabled" has
+    # a measured enabled-side twin).  The margin is thin enough that a
+    # descheduled sample can breach it, so the guard re-measures
+    # (min-of-runs, the standard noise-floor estimator) before failing.
+    overhead = run_metrics_overhead(
+        n_items=max(30000, int(120000 * min(scale, 1.0))))
+    for _ in range(3):
+        if overhead["overhead_ratio"] <= 1.05:
+            break
+        retry = run_metrics_overhead(
+            n_items=max(30000, int(120000 * min(scale, 1.0))))
+        if retry["overhead_ratio"] < overhead["overhead_ratio"]:
+            overhead = retry
+    print(f"metrics overhead: enabled {overhead['enabled_us_per_item']} "
+          f"us/item vs disabled {overhead['disabled_us_per_item']} "
+          f"us/item (ratio {overhead['overhead_ratio']})")
+
+    # Churn harness: concurrent clients crash and resume mid-stream;
+    # the p50/p99 feed latency is the fleet-facing health figure.
+    churn = run_loadgen_churn()
+    print(f"loadgen churn: {churn['workers']} workers, "
+          f"{churn['crashes']} crashes/{churn['resumes']} resumes, "
+          f"push p50 {churn['push_ms']['p50']} ms / p99 "
+          f"{churn['push_ms']['p99']} ms, {churn['items_per_s']} items/s")
+
     payload = throughput_json(result, scale, hub_soak=soak,
-                              remote_loopback=loopback)
+                              remote_loopback=loopback,
+                              metrics_overhead=overhead,
+                              loadgen_churn=churn)
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     with open(RESULTS_DIR / "BENCH_throughput.json", "w") as handle:
         json.dump(payload, handle, indent=1)
         handle.write("\n")
+
+    # Enabled metrics stay within 5% µs/item on the initial encoding
+    # push path, and churn must not bend exactly-once delivery.
+    assert overhead["overhead_ratio"] <= 1.05
+    assert churn["verify_failures"] == 0
+    assert not churn["worker_errors"]
+    assert churn["push_ms"]["count"] > 0
+    assert churn["push_ms"]["p50"] is not None
+    assert churn["push_ms"]["p99"] is not None
 
     # Multiplexing must stay within a small factor of a dedicated
     # session regardless of machine speed (both sides measured here).

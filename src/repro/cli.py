@@ -18,7 +18,14 @@ A thin, scriptable wrapper over the library for the Fig-1 workflow:
   stores, graceful SIGTERM drain, ``--recover`` restart;
 * ``remote``  — client side of ``serve``: ``remote embed`` / ``remote
   detect`` run the embed/detect workflows against a remote server with
-  transparent reconnect-and-resume.
+  transparent reconnect-and-resume;
+* ``status``  — query a serving endpoint's STATUS snapshot (server
+  counters, per-tenant stream stats, metrics registry) over any
+  transport x wire combination;
+* ``loadgen`` — churn load generator: N concurrent clients connect,
+  push, crash and resume against a server (spawned in-process by
+  default), reporting a latency histogram and verifying exactly-once
+  delivery under churn.
 
 All component names — encoding choices, attack/transform kinds — resolve
 through the central :class:`repro.registry.ComponentRegistry`; a newly
@@ -180,6 +187,9 @@ def _build_parser() -> argparse.ArgumentParser:
     hub_status = hub_sub.add_parser(
         "status", help="inspect a checkpoint store")
     hub_status.add_argument("store", help="checkpoint store directory")
+    hub_status.add_argument("--json", action="store_true",
+                            help="machine-readable output: one JSON "
+                                 "object per stream per line")
 
     serve = sub.add_parser(
         "serve", help="serve StreamHub tenants over a framed transport")
@@ -217,6 +227,63 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--recover", action="store_true",
                        help="start over a non-empty store and resume its "
                             "checkpointed streams as clients reconnect")
+    serve.add_argument("--status-interval", type=float, default=None,
+                       metavar="SECONDS",
+                       help="log a JSON status snapshot line on this "
+                            "wall-clock period")
+    serve.add_argument("--json", action="store_true",
+                       help="strict machine-readable lifecycle output: "
+                            "one JSON object per line, each tagged with "
+                            "an 'event' field (ready/status/drained)")
+
+    status_parser = sub.add_parser(
+        "status", help="query a serving endpoint's STATUS snapshot")
+    status_parser.add_argument("address", metavar="HOST:PORT",
+                               help="a repro serve endpoint, "
+                                    "e.g. 127.0.0.1:7707")
+    status_parser.add_argument("--transport", default="tcp",
+                               metavar="NAME",
+                               help="transport the server listens on "
+                                    "(default 'tcp')")
+    status_parser.add_argument("--wire", default="binary", metavar="NAME",
+                               help="wire codec to request (default "
+                                    "'binary'; the server may grant less)")
+    status_parser.add_argument("--tenant", default="default",
+                               help="tenant namespace for the handshake "
+                                    "(default 'default')")
+    status_parser.add_argument("--json", action="store_true",
+                               help="compact single-line output "
+                                    "(default: indented)")
+
+    loadgen = sub.add_parser(
+        "loadgen", help="churn load generator: N clients connect, push, "
+                        "crash and resume against a server")
+    loadgen.add_argument("--workers", type=int, default=8,
+                         help="concurrent client workers (default 8)")
+    loadgen.add_argument("--pushes", type=int, default=12,
+                         help="chunks each worker feeds (default 12)")
+    loadgen.add_argument("--chunk", type=int, default=256,
+                         help="items per chunk (default 256)")
+    loadgen.add_argument("--crash-every", type=int, default=3,
+                         help="crash each worker's transport every N "
+                              "pushes; 0 disables churn (default 3)")
+    loadgen.add_argument("--host", default=None,
+                         help="target server address (default: spawn an "
+                              "in-process server on a free port)")
+    loadgen.add_argument("--port", type=int, default=None,
+                         help="target server port (requires --host)")
+    loadgen.add_argument("--transport", default="tcp", metavar="NAME",
+                         help="transport to dial (default 'tcp')")
+    loadgen.add_argument("--wire", default="binary", metavar="NAME",
+                         help="wire codec to request (default 'binary')")
+    loadgen.add_argument("--tenant", default="loadgen",
+                         help="tenant namespace (default 'loadgen')")
+    loadgen.add_argument("--verify-bits", action="store_true",
+                         help="also require outputs bit-identical to an "
+                              "uninterrupted local embed")
+    loadgen.add_argument("--out", metavar="PATH", default=None,
+                         help="also write the summary JSON here "
+                              "(the CI histogram artifact)")
 
     remote = sub.add_parser(
         "remote", help="drive a repro serve endpoint as a client")
@@ -529,6 +596,12 @@ def _cmd_hub_status(args) -> int:
 
     store = DirectoryCheckpointStore(args.store, create=False)
     rows = store_summary(store)
+    if args.json:
+        # One JSON object per stream per line — loadgen/CI parse these
+        # without scraping; an empty store emits no lines and exits 0.
+        for row in rows:
+            print(json.dumps(row))
+        return 0
     if not rows:
         # An empty store is a normal operational state (fresh start, or
         # every stream finished and was dropped) — say so instead of
@@ -559,6 +632,14 @@ def _cmd_serve(args) -> int:
 
     from repro.server.service import StreamService
 
+    def emit(event: str, payload: dict) -> None:
+        # Always one JSON object per line; --json additionally tags
+        # each with a stable 'event' discriminator so log consumers can
+        # route ready/status/drained lines without guessing by keys.
+        if args.json:
+            payload = {"event": event, **payload}
+        print(json.dumps(payload), flush=True)
+
     async def run() -> None:
         service = StreamService(
             host=args.host, port=args.port, store_path=args.store,
@@ -566,21 +647,24 @@ def _cmd_serve(args) -> int:
             transport=args.transport, max_wire=args.wire,
             checkpoint_every=args.checkpoint_every,
             checkpoint_interval=args.checkpoint_interval,
-            max_live_sessions=args.max_live, recover=args.recover)
+            max_live_sessions=args.max_live, recover=args.recover,
+            status_interval=args.status_interval,
+            status_sink=lambda snapshot:
+            emit("status", {"status": snapshot}))
         host, port = await service.start()
         recoverable = service.recoverable() if args.recover else {}
         status = service.status()
         # One machine-readable ready line: scripts parse the bound port
         # (required with --port 0) before dialing in, and operators see
         # what the server actually speaks.
-        print(json.dumps({
+        emit("ready", {
             "serving": {"host": host, "port": port,
                         "transport": status["transport"],
                         "max_wire": status["max_wire"]},
             "store": args.store,
             "recoverable": {tenant: len(ids)
                             for tenant, ids in recoverable.items()},
-        }), flush=True)
+        })
         loop = asyncio.get_running_loop()
         for signum in (signal.SIGTERM, signal.SIGINT):
             try:
@@ -591,10 +675,9 @@ def _cmd_serve(args) -> int:
                 pass
         await service.serve_until_drained()
         status = service.status()
-        print(json.dumps({"drained": True, "pushes": service.pushes,
-                          "transport": status["transport"],
-                          "wire_sessions": status["wire_sessions"]}),
-              flush=True)
+        emit("drained", {"drained": True, "pushes": service.pushes,
+                         "transport": status["transport"],
+                         "wire_sessions": status["wire_sessions"]})
 
     asyncio.run(run())
     return 0
@@ -674,6 +757,47 @@ def _cmd_remote(args) -> int:
     return _REMOTE_COMMANDS[args.remote_command](args)
 
 
+# ----------------------------------------------------------------------
+# observability
+# ----------------------------------------------------------------------
+def _cmd_status(args) -> int:
+    from repro.server.client import RemoteClient
+
+    host, _, port = args.address.rpartition(":")
+    if not host or not port.isdigit():
+        raise ReproError(
+            f"bad address {args.address!r}; expected HOST:PORT")
+    with RemoteClient(host, int(port), tenant=args.tenant,
+                      transport=args.transport, wire=args.wire) as client:
+        snapshot = client.status()
+    print(json.dumps(snapshot,
+                     indent=None if args.json else 2))
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    from repro.obs.loadgen import run_loadgen
+
+    if (args.host is None) != (args.port is None):
+        raise ReproError("--host and --port go together (omit both to "
+                         "spawn an in-process server)")
+    summary = run_loadgen(workers=args.workers, pushes=args.pushes,
+                          chunk=args.chunk, crash_every=args.crash_every,
+                          host=args.host, port=args.port,
+                          transport=args.transport, wire=args.wire,
+                          tenant=args.tenant,
+                          verify_bits=args.verify_bits)
+    print(json.dumps(summary, indent=2))
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(summary, handle, indent=1)
+            handle.write("\n")
+    # Churn must not bend exactly-once: any lost/duplicated item or
+    # crashed worker fails the run (the CI loadgen-smoke gate).
+    return 1 if summary["verify_failures"] or summary["worker_errors"] \
+        else 0
+
+
 _COMMANDS = {
     "embed": _cmd_embed,
     "detect": _cmd_detect,
@@ -683,6 +807,8 @@ _COMMANDS = {
     "hub": _cmd_hub,
     "serve": _cmd_serve,
     "remote": _cmd_remote,
+    "status": _cmd_status,
+    "loadgen": _cmd_loadgen,
 }
 
 

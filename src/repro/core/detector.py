@@ -209,6 +209,16 @@ class StreamDetector(StreamScanner):
             abstentions=self._abstentions,
             vote_threshold=self._params.vote_threshold)
 
+    def encoding_stats(self) -> dict:
+        """Lifetime telemetry from the encoding strategy, if it keeps any.
+
+        Detection never embeds, but encodings with a shared probe memo
+        (multi-hash) still accrue pattern probes/hits here — the same
+        pull-based observability hook the embedder exposes.
+        """
+        snapshot = getattr(self._encoding, "stats_snapshot", None)
+        return snapshot() if snapshot is not None else {}
+
     # ------------------------------------------------------------------
     # checkpoint / resume
     # ------------------------------------------------------------------

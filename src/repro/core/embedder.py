@@ -129,6 +129,16 @@ class StreamWatermarker(StreamScanner):
         """The payload being embedded (defensive copy)."""
         return list(self._wm_bits)
 
+    def encoding_stats(self) -> dict:
+        """Lifetime telemetry from the encoding strategy, if it keeps any.
+
+        Pull-based observability hook (STATUS snapshots): encodings that
+        track cumulative search/memo totals expose ``stats_snapshot()``;
+        strategies without one report an empty dict.
+        """
+        snapshot = getattr(self._encoding, "stats_snapshot", None)
+        return snapshot() if snapshot is not None else {}
+
     def restore_scan_state(self, state: dict) -> None:
         """Load a checkpoint and re-tie the report to the new counters.
 

@@ -157,6 +157,11 @@ class MultihashEncoding:
         self._rng = make_rng(rng)
         self._batched = bool(batched)
         self.last_stats: "MultihashStats | None" = None
+        # Lifetime observability totals (updated once per embed, read
+        # by stats_snapshot() at STATUS-snapshot time — never pushed
+        # from the search loop itself).
+        self.embeds = 0
+        self.total_search_iterations = 0
         # Hot-path machinery: the shared PatternProber keeps a digest
         # context pre-fed with the leading key (copy() per probe beats
         # re-hashing the prefix) plus a bounded (avg_key, label) memo —
@@ -215,7 +220,21 @@ class MultihashEncoding:
         new_segment, stats = search(segment, label, target)
         working[start:end] = new_segment
         self.last_stats = stats
+        self.embeds += 1
+        self.total_search_iterations += stats.iterations
         return EmbedOutcome(q_values=working, iterations=stats.iterations)
+
+    def stats_snapshot(self) -> dict:
+        """Lifetime search/memo telemetry (JSON-safe, pull-based)."""
+        prober = self._prober
+        return {
+            "encoding": self.name,
+            "embeds": self.embeds,
+            "search_iterations": self.total_search_iterations,
+            "pattern_probes": prober.probes,
+            "pattern_memo_hits": prober.probes - prober.misses,
+            "pattern_memo_size": len(prober),
+        }
 
     # ------------------------------------------------------------------
     def _search_random(self, q_segment: list[int], label: int,

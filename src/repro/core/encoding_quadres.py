@@ -199,6 +199,10 @@ class QuadResEncoding:
         self._batched = bool(batched)
         self._table = _ResidueTable(self._prime)
         self.last_stats: "QuadResStats | None" = None
+        # Lifetime observability totals (updated once per embed, read
+        # by stats_snapshot() at STATUS-snapshot time).
+        self.embeds = 0
+        self.total_search_iterations = 0
 
     # ------------------------------------------------------------------
     @property
@@ -338,7 +342,18 @@ class QuadResEncoding:
             new_values.append(new_q)
             total_iterations += iterations
         self.last_stats = QuadResStats(iterations=total_iterations)
+        self.embeds += 1
+        self.total_search_iterations += total_iterations
         return EmbedOutcome(q_values=new_values, iterations=total_iterations)
+
+    def stats_snapshot(self) -> dict:
+        """Lifetime search/memo telemetry (JSON-safe, pull-based)."""
+        return {
+            "encoding": self.name,
+            "embeds": self.embeds,
+            "search_iterations": self.total_search_iterations,
+            "residue_memo_size": len(self._table),
+        }
 
     def detect(self, float_subset: np.ndarray, extreme_offset: int,
                label: int) -> Vote:

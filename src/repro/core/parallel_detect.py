@@ -39,6 +39,7 @@ import numpy as np
 from repro.core.params import WatermarkParams
 from repro.core.scanner import ScanCounters
 from repro.errors import ParameterError
+from repro.obs import NULL_REGISTRY
 
 # Late imports of detector internals happen inside functions: the
 # detector module imports this one for its ``workers=`` conveniences,
@@ -83,26 +84,41 @@ def run_task(task: DetectionTask):
 
 
 def run_tasks(tasks: "list[DetectionTask]",
-              workers: "int | None" = None) -> list:
+              workers: "int | None" = None, metrics=None) -> list:
     """Run tasks serially (``workers`` in {None, 0, 1}) or in a pool.
 
     Results come back in task order either way (``Executor.map``
     preserves ordering), so callers can zip them against their inputs.
     The pool is sized ``min(workers, len(tasks))`` — idle workers cost
     a fork each.
+
+    ``metrics`` is an optional :class:`~repro.obs.MetricsRegistry`;
+    counters are maintained parent-side (workers are separate
+    processes, so instruments must not cross the pool boundary):
+    ``detect_tasks_total`` counts every task, ``detect_pool_tasks_total``
+    and ``detect_pool_batches_total`` only pool-dispatched work, and
+    the ``detect_pool_utilization`` gauge reports tasks-per-slot of the
+    latest batch (how full the requested pool actually ran).
     """
     if workers is not None and workers < 0:
         raise ParameterError(f"workers must be >= 0, got {workers}")
+    m = metrics if metrics is not None else NULL_REGISTRY
     tasks = list(tasks)
     if not tasks:
         return []
+    m.counter("detect_tasks_total").inc(len(tasks))
     if workers is None or workers <= 1 or len(tasks) == 1:
         return [run_task(task) for task in tasks]
-    with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
+    pool_size = min(workers, len(tasks))
+    m.counter("detect_pool_tasks_total").inc(len(tasks))
+    m.counter("detect_pool_batches_total").inc()
+    m.gauge("detect_pool_workers").set(pool_size)
+    m.gauge("detect_pool_utilization").set(round(len(tasks) / workers, 4))
+    with ProcessPoolExecutor(max_workers=pool_size) as pool:
         return list(pool.map(run_task, tasks))
 
 
-def merge_results(results: "list"):
+def merge_results(results: "list", metrics=None):
     """Exact reduction of partial detection results (the merge law).
 
     Buckets, abstentions and scan counters are additive across disjoint
@@ -110,12 +126,19 @@ def merge_results(results: "list"):
     added counter participates automatically.  All parts must agree on
     watermark length and vote threshold — merging across different
     thresholds would make ``wm_estimate`` ill-defined.
+
+    With ``metrics`` given, ``detect_span_merges_total`` counts merge
+    operations and ``detect_merged_parts_total`` the partial results
+    folded in.
     """
     from repro.core.detector import DetectionResult
 
     results = list(results)
     if not results:
         raise ParameterError("cannot merge zero detection results")
+    m = metrics if metrics is not None else NULL_REGISTRY
+    m.counter("detect_span_merges_total").inc()
+    m.counter("detect_merged_parts_total").inc(len(results))
     first = results[0]
     wm_length = first.wm_length
     threshold = first.vote_threshold
@@ -183,7 +206,8 @@ def detect_watermark_spans(values, wm_length, key,
                            require_labels: bool = True,
                            encoding_options: "dict | None" = None,
                            spans: int = 4,
-                           workers: "int | None" = None):
+                           workers: "int | None" = None,
+                           metrics=None):
     """Span-parallel detection of one long stream, merged exactly.
 
     The stream is cut into ``spans`` contiguous ranges (each at least
@@ -204,15 +228,16 @@ def detect_watermark_spans(values, wm_length, key,
                            require_labels=require_labels,
                            encoding_options=encoding_options)
              for (start, end) in ranges]
-    return merge_results(run_tasks(tasks, workers=workers))
+    return merge_results(run_tasks(tasks, workers=workers, metrics=metrics),
+                         metrics=metrics)
 
 
 def detect_many(tasks: "list[DetectionTask]",
-                workers: "int | None" = None) -> list:
+                workers: "int | None" = None, metrics=None) -> list:
     """Batch API: run many independent detections, preserving order.
 
     This is the hub's screening surface — candidate keys x suspect
     streams, each its own :class:`DetectionTask`.  No merging: each
     task answers its own question.
     """
-    return run_tasks(tasks, workers=workers)
+    return run_tasks(tasks, workers=workers, metrics=metrics)

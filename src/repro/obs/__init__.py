@@ -1,0 +1,26 @@
+"""Process-local observability: metrics registry and load harness.
+
+The :mod:`repro.obs` package is dependency-free (stdlib only) and
+self-contained so every other layer — hub, server, detection pool,
+encodings — can import it without cycles.  See DESIGN.md
+("Observability") for the registry model and metric name catalog.
+"""
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    LATENCY_US_BUCKETS,
+    LATENCY_MS_BUCKETS,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "LATENCY_US_BUCKETS",
+    "LATENCY_MS_BUCKETS",
+]

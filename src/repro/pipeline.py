@@ -213,6 +213,11 @@ class ProtectionSession:
         """The payload being embedded (defensive copy)."""
         return self._embedder.watermark_bits
 
+    def encoding_stats(self) -> dict:
+        """Lifetime encoding search/memo telemetry (see
+        :meth:`repro.core.embedder.StreamWatermarker.encoding_stats`)."""
+        return self._embedder.encoding_stats()
+
     def feed(self, chunk) -> np.ndarray:
         """Push one chunk; return the watermarked items released so far."""
         if self._finished:
@@ -330,6 +335,11 @@ class DetectionSession:
     def items_released(self) -> int:
         """Pass-through items released so far (ingested minus held)."""
         return self._detector.counters.items - self._detector.items_pending
+
+    def encoding_stats(self) -> dict:
+        """Lifetime encoding telemetry (probe memo counters; see
+        :meth:`repro.core.detector.StreamDetector.encoding_stats`)."""
+        return self._detector.encoding_stats()
 
     def feed(self, chunk) -> np.ndarray:
         """Push one chunk; return the scanned items (pass-through)."""

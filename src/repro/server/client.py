@@ -260,6 +260,41 @@ class AsyncRemoteClient:
                 pass
             await self._drop_transport()
 
+    async def status(self) -> dict:
+        """Fetch the server's observability snapshot (STATUS frame).
+
+        Returns the decoded ``payload`` dict — server counters,
+        per-tenant hub stats and the metrics registry snapshot (see
+        :meth:`repro.server.service.StreamService.status_snapshot`).
+        Reconnects once if the link is down.
+        """
+        async with self._lock:
+            if self._channel is None:
+                await self._dial()
+            try:
+                await self._send({"type": "status"})
+                frame = await self._expect("status")
+            except _CONNECTION_ERRORS:
+                await self._reconnect()
+                await self._send({"type": "status"})
+                frame = await self._expect("status")
+            return frame.get("payload", {})
+
+    def simulate_crash(self) -> None:
+        """Chaos hook: drop the transport abruptly, with no goodbye.
+
+        The next operation finds the connection gone, redials and
+        resumes every live stream — the client-crash path the churn
+        load generator (``repro loadgen``) and the integration tests
+        exercise deliberately.
+        """
+        channel = self._channel
+        self._channel = None
+        self._codec = protocol.codec_for(protocol.WIRE_JSON)
+        self.negotiated_wire = None
+        if channel is not None:
+            channel.abort()
+
     def wire_stats(self) -> dict:
         """Traffic snapshot: negotiated axes plus byte/frame counters.
 
@@ -512,7 +547,15 @@ class AsyncRemoteClient:
                     array: np.ndarray) -> np.ndarray:
         async with self._lock:
             if self._channel is None:
+                # A live session over a dead channel (simulate_crash, a
+                # noticed drop): this dial is a reconnect.  The chunk is
+                # already in the retained buffer, so the dial's resume
+                # replays it along with the rest of the unseen suffix —
+                # pipelining it again here would ingest it twice
+                # server-side.
+                self.reconnects += 1
                 await self._dial()
+                return _concat(session._take_pending())
             try:
                 await self._pipeline(session,
                                      _split(array, self._push_items))
@@ -673,6 +716,20 @@ class RemoteClient:
     def reconnects(self) -> int:
         """How many times the transport was re-established."""
         return self._async.reconnects
+
+    def status(self) -> dict:
+        """Fetch the server's observability snapshot (STATUS frame)."""
+        return self._call(self._async.status())
+
+    def simulate_crash(self) -> None:
+        """Chaos hook: drop the transport with no goodbye.
+
+        Runs on the client loop (and waits for it), so callers can
+        crash deterministically between two feeds.
+        """
+        async def crash() -> None:
+            self._async.simulate_crash()
+        self._call(crash())
 
     def protect(self, stream_id: str, watermark, key,
                 **options) -> RemoteSession:

@@ -16,7 +16,7 @@ delimited on the network is the job of a transport
   bytes** decoded straight into an array view: no base64, no per-item
   Python objects on the hot path.
 
-Logically a frame is a mapping whose ``type`` field names one of eight
+Logically a frame is a mapping whose ``type`` field names one of nine
 frame types:
 
 ========  =========  =====================================================
@@ -30,6 +30,9 @@ flush     c -> s     end-of-stream: drain the window, report evidence
 result    s -> c     response to open/push/flush (values, offsets, votes)
 credit    s -> c     flow control: returns credits for a stream
 error     s -> c     a request failed (code + message, stream if known)
+status    both       observability: a bare request (c -> s) is answered
+                     with a ``payload`` JSON snapshot (s -> c) of the
+                     server's metrics registry and per-tenant hub state
 bye       both       orderly goodbye; the server's drain notice
 ========  =========  =====================================================
 
@@ -125,6 +128,11 @@ _FRAME_FIELDS = {
     "credit": (frozenset({"type", "stream_id", "credits"}), frozenset()),
     "error": (frozenset({"type", "code", "message"}),
               frozenset({"stream_id"})),
+    # The bare form is the client's request; the server's reply carries
+    # the snapshot in ``payload``.  NOTE: "status" sorts *after* every
+    # pre-existing frame name, so the binary codec's sorted type codes
+    # for older frames are unchanged (pinned in test_protocol.py).
+    "status": (frozenset({"type"}), frozenset({"payload"})),
     "bye": (frozenset({"type"}), frozenset({"reason"})),
 }
 
@@ -159,6 +167,7 @@ _FIELD_TYPES = {
     "code": str,
     "message": str,
     "reason": str,
+    "payload": dict,
 }
 
 #: Integer fields that must be non-negative.
@@ -493,7 +502,7 @@ class BinaryFrameCodec(FrameCodec):
 
     Body layout::
 
-        offset 0  uint8   frame-type code (1..8, sorted frame names)
+        offset 0  uint8   frame-type code (1..9, sorted frame names)
         offset 1  uint8   flags (bit 0: values payload present)
         offset 2  uint32  meta length M, little-endian
         offset 6  M bytes meta: UTF-8 JSON object of every field except

@@ -56,6 +56,7 @@ from __future__ import annotations
 
 import asyncio
 import hashlib
+import time
 from collections import deque
 from pathlib import Path
 from urllib.parse import quote, unquote
@@ -66,6 +67,7 @@ from repro.core.params import WatermarkParams
 from repro.core.serialize import params_from_dict
 from repro.errors import ProtocolError, ReproError
 from repro.hub import StreamHub
+from repro.obs import MetricsRegistry
 from repro.server import protocol
 from repro.server.transports import (Listener, TransportConnection,
                                      build_transport)
@@ -73,6 +75,16 @@ from repro.stores import build_store
 
 #: Default per-stream credit grant (outstanding PUSH frames).
 DEFAULT_CREDITS = 4
+
+#: How long a draining connection handler keeps serving in-flight
+#: frames before saying BYE.  A STATUS request racing a SIGTERM lands
+#: inside this window and still receives a well-formed final snapshot
+#: instead of a connection reset.
+DRAIN_GRACE_SECONDS = 0.25
+
+#: Upper bound on frames one connection may land during its drain
+#: grace, so a client spamming requests cannot hold the drain open.
+DRAIN_GRACE_FRAMES = 32
 
 
 def _key_fingerprint(tenant: str, stream_id: str, key: bytes) -> str:
@@ -105,24 +117,40 @@ class _Connection:
         #: stream_id -> remaining PUSH credits on this connection.
         self.credits: "dict[str, int]" = {}
         self.name = channel.peer
+        # Per-transport×wire traffic instruments, bound by the service
+        # after the handshake settles the codec (``None`` until then —
+        # HELLO frames are not attributed to a negotiated wire).
+        self.m_frames_in = None
+        self.m_frames_out = None
+        self.m_bytes_in = None
+        self.m_bytes_out = None
 
     async def read(self) -> "dict | None":
         """Read and decode one frame; ``None`` on clean end-of-stream."""
         body = await self.channel.read_message()
         if body is None:
             return None
+        if self.m_bytes_in is not None:
+            self.m_frames_in.inc()
+            self.m_bytes_in.inc(len(body))
         return self.codec.decode(body, source=f"frame from {self.name}")
 
     async def send(self, frame: dict) -> None:
         """Encode (validating) and write one frame to this client."""
-        await self.channel.write_message(
-            self.codec.encode(frame, max_bytes=self.max_bytes))
+        body = self.codec.encode(frame, max_bytes=self.max_bytes)
+        if self.m_bytes_out is not None:
+            self.m_frames_out.inc()
+            self.m_bytes_out.inc(len(body))
+        await self.channel.write_message(body)
 
     async def send_many(self, frames: "list[dict]") -> None:
         """Encode and write several frames in one transport batch."""
-        await self.channel.write_messages(
-            [self.codec.encode(frame, max_bytes=self.max_bytes)
-             for frame in frames])
+        bodies = [self.codec.encode(frame, max_bytes=self.max_bytes)
+                  for frame in frames]
+        if self.m_bytes_out is not None:
+            self.m_frames_out.inc(len(bodies))
+            self.m_bytes_out.inc(sum(len(body) for body in bodies))
+        await self.channel.write_messages(bodies)
 
     async def close(self) -> None:
         """Close the transport, swallowing teardown races."""
@@ -167,6 +195,17 @@ class StreamService:
         Allow starting over a non-empty store and resuming its streams.
         Without it a non-empty store is refused, so a stale directory
         cannot be silently adopted.
+    metrics:
+        The :class:`~repro.obs.MetricsRegistry` this server reports
+        into.  Defaults to a fresh enabled registry — a serving process
+        is the one place observability is on by default; pass
+        ``MetricsRegistry(enabled=False)`` to switch it off.
+    status_interval:
+        Optional wall-clock seconds between periodic status snapshots
+        handed to ``status_sink`` (the ``repro serve
+        --status-interval`` JSON log line).
+    status_sink:
+        Callable receiving each periodic :meth:`status_snapshot` dict.
     """
 
     def __init__(self, *, host: str = "127.0.0.1", port: int = 0,
@@ -179,7 +218,10 @@ class StreamService:
                  checkpoint_interval: "float | None" = None,
                  max_live_sessions: "int | None" = None,
                  recover: bool = False,
-                 max_frame_bytes: int = protocol.MAX_FRAME_BYTES) -> None:
+                 max_frame_bytes: int = protocol.MAX_FRAME_BYTES,
+                 metrics: "MetricsRegistry | None" = None,
+                 status_interval: "float | None" = None,
+                 status_sink=None) -> None:
         if credits < 1:
             raise ReproError(f"credits must be >= 1, got {credits}")
         self._host = host
@@ -213,12 +255,35 @@ class StreamService:
         self._listener: "Listener | None" = None
         self._drained = asyncio.Event()
         self._draining = False
+        self._drain_begun = asyncio.Event()
+        self._drain_reason = "drain"
+        self._drain_seconds: "float | None" = None
+        self._started_at: "float | None" = None
         self._flusher: "asyncio.Task | None" = None
+        self._status_task: "asyncio.Task | None" = None
+        self._status_interval = status_interval
+        self._status_sink = status_sink
         self.frames_in = 0
         self.pushes = 0
         self.errors = 0
         #: wire version -> connections that negotiated it (lifetime).
         self.wire_sessions: "dict[int, int]" = {}
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        m = self.metrics
+        self._m_connections_total = m.counter("server_connections_total")
+        self._m_credit_stalls = m.counter("server_credit_stalls_total")
+        m.gauge_callback("server_connections", lambda: len(self._connections))
+        m.gauge_callback("server_tenants", lambda: len(self._hubs))
+        m.gauge_callback("server_replay_buffer_chunks",
+                         lambda: sum(len(buf)
+                                     for buf in self._outbuf.values()))
+        m.gauge_callback(
+            "server_replay_buffer_items",
+            lambda: sum(values.size for buf in self._outbuf.values()
+                        for _, values in buf))
+        m.gauge_callback("server_frames_in", lambda: self.frames_in)
+        m.gauge_callback("server_pushes", lambda: self.pushes)
+        m.gauge_callback("server_errors", lambda: self.errors)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -237,8 +302,11 @@ class StreamService:
             self._host, self._port, self._handle_connection,
             max_bytes=self._max_frame_bytes)
         self._host, self._port = self._listener.address
+        self._started_at = time.time()
         if self._checkpoint_interval:
             self._flusher = asyncio.create_task(self._checkpoint_loop())
+        if self._status_interval:
+            self._status_task = asyncio.create_task(self._status_loop())
         return self.address
 
     @property
@@ -254,14 +322,23 @@ class StreamService:
         """Graceful shutdown: checkpoint all, notify clients, stop.
 
         Safe to call more than once; later calls wait for the first.
+        Connection handlers own their goodbye: each keeps serving
+        in-flight frames for :data:`DRAIN_GRACE_SECONDS` (so a STATUS
+        request racing the SIGTERM still gets a well-formed final
+        snapshot), then sends BYE and closes; this method waits for
+        them and force-closes any straggler past the deadline.
         """
         if self._draining:
             await self._drained.wait()
             return
         self._draining = True
+        self._drain_reason = reason
+        started = time.perf_counter()
+        self._drain_begun.set()
         try:
-            if self._flusher is not None:
-                self._flusher.cancel()
+            for task in (self._flusher, self._status_task):
+                if task is not None:
+                    task.cancel()
             if self._listener is not None:
                 self._listener.close()
             try:
@@ -272,16 +349,19 @@ class StreamService:
                 # listener still closes.  Cadence checkpoints are the
                 # durability backstop.
                 self.errors += 1
+            loop = asyncio.get_running_loop()
+            deadline = loop.time() + 4 * DRAIN_GRACE_SECONDS + 1.0
+            while self._connections and loop.time() < deadline:
+                await asyncio.sleep(0.02)
             for connection in list(self._connections):
-                try:
-                    await connection.send({"type": "bye",
-                                           "reason": reason})
-                except (ConnectionError, OSError, ProtocolError):
-                    pass
+                await self._send_bye(connection)
                 await connection.close()
             if self._listener is not None:
                 await self._listener.wait_closed()
         finally:
+            self._drain_seconds = round(time.perf_counter() - started, 6)
+            self.metrics.gauge("server_drain_seconds").set(
+                self._drain_seconds)
             self._drained.set()
 
     def checkpoint_all(self) -> "dict[str, dict[str, int]]":
@@ -308,7 +388,45 @@ class StreamService:
             "frames_in": self.frames_in,
             "pushes": self.pushes,
             "errors": self.errors,
+            "draining": self._draining,
+            "uptime_seconds": (round(time.time() - self._started_at, 3)
+                               if self._started_at is not None else None),
         }
+
+    def status_snapshot(self) -> dict:
+        """Full observability snapshot (the STATUS frame payload).
+
+        Three sections, all JSON-safe: ``server`` (:meth:`status` plus
+        drain timing), ``tenants`` (per-stream hub stats — including
+        ``checkpoint_lag`` / ``us_per_item`` — and the aggregated
+        encoding-search telemetry of each tenant's live sessions), and
+        ``metrics`` (the registry's counters, gauges with callbacks
+        sampled now, and histograms with p50/p95/p99).
+        """
+        tenants = {}
+        for tenant, hub in self._hubs.items():
+            tenants[tenant] = {
+                "streams": len(hub),
+                "stats": hub.stats(),
+                "encoding": hub.encoding_summary(),
+            }
+        return {
+            "server": {**self.status(),
+                       "drain_seconds": self._drain_seconds},
+            "tenants": tenants,
+            "metrics": self.metrics.snapshot(),
+        }
+
+    async def _status_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self._status_interval)
+            if self._status_sink is None:
+                continue
+            try:
+                self._status_sink(self.status_snapshot())
+            except Exception:
+                # A broken sink (closed pipe, ...) must not kill serving.
+                self.errors += 1
 
     def recoverable(self) -> "dict[str, list[str]]":
         """Checkpointed stream ids per tenant found under the store root.
@@ -357,7 +475,9 @@ class StreamService:
             hub = StreamHub(store=store, checkpoint_every=0,
                             max_live_sessions=self._max_live,
                             checkpoint_hook=lambda stream_id, _t=tenant:
-                            self._save_sidecar(_t, stream_id))
+                            self._save_sidecar(_t, stream_id),
+                            metrics=self.metrics,
+                            metrics_labels={"tenant": tenant})
             self._hubs[tenant] = hub
             self._meta_stores[tenant] = meta
         return hub
@@ -482,6 +602,7 @@ class StreamService:
                                  channel: TransportConnection) -> None:
         connection = _Connection(channel, self._max_frame_bytes)
         self._connections.add(connection)
+        self._m_connections_total.inc()
         try:
             if await self._handshake(connection):
                 await self._serve_frames(connection)
@@ -541,20 +662,73 @@ class StreamService:
         # it speaks the granted one (on both sides).
         connection.codec = protocol.codec_for(granted)
         self.wire_sessions[granted] = self.wire_sessions.get(granted, 0) + 1
+        labels = {"transport": self._transport_name,
+                  "wire": connection.codec.name}
+        m = self.metrics
+        connection.m_frames_in = m.counter("server_frames_in_total",
+                                           **labels)
+        connection.m_frames_out = m.counter("server_frames_out_total",
+                                            **labels)
+        connection.m_bytes_in = m.counter("server_bytes_in_total", **labels)
+        connection.m_bytes_out = m.counter("server_bytes_out_total",
+                                           **labels)
         return True
+
+    async def _next_frame(self, connection: _Connection) \
+            -> "tuple[asyncio.Future | None, bool]":
+        """One read, raced against the drain notice.
+
+        Returns ``(read_future, timed_out)``: the completed read future
+        (``result()`` yields the frame, or re-raises its error), or
+        ``(None, True)`` when the server is draining and no frame
+        arrived within the grace window — the caller should say BYE.
+        """
+        read = asyncio.ensure_future(connection.read())
+        if not self._draining:
+            notice = asyncio.ensure_future(self._drain_begun.wait())
+            try:
+                await asyncio.wait({read, notice},
+                                   return_when=asyncio.FIRST_COMPLETED)
+            finally:
+                notice.cancel()
+        if not read.done():
+            # Drain began with no frame in flight: grant the grace
+            # window, so a request already on the wire (STATUS during
+            # SIGTERM) is still served before the goodbye.
+            done, _ = await asyncio.wait({read},
+                                         timeout=DRAIN_GRACE_SECONDS)
+            if not done:
+                read.cancel()
+                try:
+                    await read
+                except (asyncio.CancelledError, ConnectionError, OSError,
+                        ProtocolError):
+                    pass
+                return None, True
+        return read, False
 
     async def _serve_frames(self, connection: _Connection) -> None:
         handlers = {"open": self._on_open, "push": self._on_push,
-                    "flush": self._on_flush}
-        while not self._draining:
+                    "flush": self._on_flush, "status": self._on_status}
+        grace_frames = 0
+        while True:
+            read, timed_out = await self._next_frame(connection)
+            if timed_out:
+                await self._send_bye(connection)
+                return
             try:
-                frame = await connection.read()
+                frame = read.result()
             except ProtocolError as exc:
                 self.errors += 1
                 await self._send_error(connection, "protocol", str(exc))
                 return
             if frame is None:
                 return
+            if self._draining:
+                grace_frames += 1
+                if grace_frames > DRAIN_GRACE_FRAMES:
+                    await self._send_bye(connection)
+                    return
             self.frames_in += 1
             frame_type = frame["type"]
             if frame_type == "bye":
@@ -582,6 +756,14 @@ class StreamService:
                 await self._send_error(connection, _error_code(exc),
                                        str(exc),
                                        stream_id=frame.get("stream_id"))
+
+    async def _send_bye(self, connection: _Connection) -> None:
+        """Best-effort goodbye carrying the drain reason."""
+        try:
+            await connection.send({"type": "bye",
+                                   "reason": self._drain_reason})
+        except (ConnectionError, OSError, ProtocolError):
+            pass
 
     async def _send_error(self, connection: _Connection, code: str,
                           message: str,
@@ -698,6 +880,12 @@ class StreamService:
                 f"got {kind!r}"
             )
 
+    async def _on_status(self, connection: _Connection,
+                         frame: dict) -> None:
+        """Answer a STATUS request with the full snapshot payload."""
+        await connection.send({"type": "status",
+                               "payload": self.status_snapshot()})
+
     async def _on_push(self, connection: _Connection, frame: dict) -> None:
         stream_id = frame["stream_id"]
         self._check_owned(connection, stream_id)
@@ -707,6 +895,7 @@ class StreamService:
             # physical backpressure; the counter is defense in depth for
             # concurrent handler variants.)
             self.errors += 1
+            self._m_credit_stalls.inc()
             await self._send_error(
                 connection, "flow",
                 f"no push credits left for stream {stream_id!r}; wait "

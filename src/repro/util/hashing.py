@@ -197,9 +197,17 @@ class PatternProber:
     re-hash storm exactly when the search is struggling; keeping the
     young half preserves the working set at the same O(1) amortized
     bookkeeping cost.
+
+    ``probes``/``misses`` count lifetime lookups and memo misses for
+    the observability layer (hit rate = 1 - misses/probes).  They are
+    plain ints maintained amortized — one add per bulk call, one add
+    per miss (the branch that already pays for an md5 digest) — and are
+    *read* only at snapshot time, never pushed into a registry from the
+    hot loop.
     """
 
-    __slots__ = ("_key", "_mask", "_copy", "_memo", "_limit")
+    __slots__ = ("_key", "_mask", "_copy", "_memo", "_limit",
+                 "probes", "misses")
 
     def __init__(self, key: bytes, omega: int, algorithm: str = "md5",
                  memo_limit: int = 1 << 16) -> None:
@@ -220,13 +228,17 @@ class PatternProber:
         self._copy = base.copy
         self._memo: "dict[tuple[int, int], int]" = {}
         self._limit = memo_limit
+        self.probes = 0
+        self.misses = 0
 
     def pattern(self, avg_key: int, label: int) -> int:
         """One convention probe (memoized)."""
         probe = (avg_key, label)
         memo = self._memo
+        self.probes += 1
         found = memo.get(probe)
         if found is None:
+            self.misses += 1
             context = self._copy()
             context.update(avg_key.to_bytes(8, "big")
                            + label.to_bytes(8, "big") + self._key)
@@ -249,11 +261,13 @@ class PatternProber:
         tail = label.to_bytes(8, "big") + self._key
         out: "list[int]" = []
         append = out.append
+        misses = 0
         for avg_key in (avg_keys.tolist()
                         if hasattr(avg_keys, "tolist") else avg_keys):
             probe = (avg_key, label)
             found = memo.get(probe)
             if found is None:
+                misses += 1
                 context = copy()
                 context.update(avg_key.to_bytes(8, "big") + tail)
                 found = int.from_bytes(context.digest()[-3:], "big") & mask
@@ -261,6 +275,8 @@ class PatternProber:
                     self._evict()
                 memo[probe] = found
             append(found)
+        self.probes += len(out)
+        self.misses += misses
         return out
 
     def _evict(self) -> None:

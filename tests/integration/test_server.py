@@ -631,3 +631,164 @@ class TestFlowControlAndErrors:
         frame = asyncio.run(asyncio.wait_for(bad_hello(), 15))
         assert frame["type"] == "error"
         assert frame["code"] == "version"
+
+
+class TestObservability:
+    """The STATUS surface: live snapshots on every cell, even draining."""
+
+    def test_status_matrix_reports_labeled_traffic(self, matrix):
+        """STATUS round-trips on every transport x wire cell and the
+        snapshot carries non-zero per-cell frame counters plus the
+        tenant's per-stream health stats."""
+        harness, kwargs = matrix
+        values = TemperatureSensorGenerator(eta=60, seed=61).generate(1500)
+        host, port = harness.service.address
+        with RemoteClient(host, port, **kwargs) as client:
+            session = client.protect("obs", "1", KEY, params=PARAMS)
+            for start in range(0, 1500, 500):
+                session.feed(values[start:start + 500])
+            # Before finish: a flushed stream is evicted from the hub
+            # (and from the stats), so the live snapshot is the one
+            # carrying per-stream health.
+            snapshot = client.status()
+            session.finish()
+        assert snapshot["server"]["draining"] is False
+        assert snapshot["server"]["pushes"] >= 3
+        assert snapshot["server"]["uptime_seconds"] > 0
+
+        stream = snapshot["tenants"]["default"]["stats"]["obs"]
+        assert stream["items_in"] == 1500
+        assert stream["checkpoint_lag"] == 0  # checkpoint_every=1
+        assert stream["last_checkpoint_ts"] is not None
+
+        wire = protocol.codec_for(
+            protocol.resolve_wire(kwargs["wire"])).name
+        cell = f"transport={kwargs['transport']},wire={wire}"
+        counters = snapshot["metrics"]["counters"]
+        assert counters[f"server_frames_in_total{{{cell}}}"] > 0
+        assert counters[f"server_frames_out_total{{{cell}}}"] > 0
+        assert counters[f"server_bytes_in_total{{{cell}}}"] > 0
+        push_us = snapshot["metrics"]["histograms"][
+            "hub_push_us{tenant=default}"]
+        assert push_us["count"] >= 3
+        assert sum(push_us["buckets"].values()) == push_us["count"]
+
+    def test_status_while_draining_gets_final_snapshot(self, harness):
+        """ISSUE 9 bugfix guard: a STATUS request racing a drain must be
+        answered with a well-formed final snapshot before the BYE — not
+        a connection reset."""
+        values = TemperatureSensorGenerator(eta=60, seed=62).generate(1000)
+        host, port = harness.service.address
+        with RemoteClient(host, port) as feeder:
+            session = feeder.protect("drainee", "1", KEY, params=PARAMS)
+            session.feed(values)
+
+            async def status_racing_drain():
+                reader, writer = await asyncio.open_connection(host, port)
+                await protocol.write_frame(writer, {
+                    "type": "hello",
+                    "version": protocol.PROTOCOL_VERSION})
+                await protocol.read_frame(reader)
+                drain = asyncio.ensure_future(
+                    harness.service.drain("sigterm"))
+                # The drain is now racing our request down the same
+                # connection; the grace window must cover it.
+                await protocol.write_frame(writer, {"type": "status"})
+                frames = []
+                while True:
+                    frame = await protocol.read_frame(reader)
+                    frames.append(frame)
+                    if frame["type"] == "bye":
+                        break
+                await drain
+                return frames
+
+            frames = harness._call(
+                asyncio.wait_for(status_racing_drain(), 20))
+        types = [frame["type"] for frame in frames]
+        assert "status" in types and types[-1] == "bye"
+        snapshot = frames[types.index("status")]["payload"]
+        assert snapshot["server"]["draining"] is True
+        assert "drainee" in snapshot["tenants"]["default"]["stats"]
+
+    def test_simulate_crash_resumes_bit_identically(self, harness):
+        """The loadgen's crash primitive: an aborted transport mid-feed
+        redials, resumes, and the output stays bit-identical."""
+        values = TemperatureSensorGenerator(eta=60, seed=63).generate(2000)
+        host, port = harness.service.address
+        with RemoteClient(host, port, reconnect_delay=0.05) as client:
+            session = client.protect("crashy", "1", KEY, params=PARAMS)
+            out = [session.feed(values[:500])]
+            client.simulate_crash()
+            out += [session.feed(values[start:start + 500])
+                    for start in range(500, 2000, 500)]
+            out.append(session.finish())
+            marked = np.concatenate([p for p in out if p.size])
+        reference, _ = watermark_stream(values, "1", KEY, params=PARAMS)
+        assert np.array_equal(marked, reference)
+        assert client.reconnects >= 1
+
+    def test_loadgen_smoke(self, tmp_path):
+        """A tiny churn fleet: exactly-once holds, latency is measured,
+        and the spawned server's lifetime counters ride along."""
+        from repro.obs.loadgen import run_loadgen
+
+        summary = run_loadgen(workers=3, pushes=6, chunk=128,
+                              crash_every=2, verify_bits=True)
+        assert summary["verify_failures"] == 0
+        assert summary["worker_errors"] == []
+        assert summary["items"] == 3 * 6 * 128
+        assert summary["crashes"] > 0
+        assert summary["resumes"] == summary["crashes"]
+        assert summary["push_ms"]["count"] == 3 * (6 + 1)  # feeds + finish
+        assert summary["push_ms"]["p50"] is not None
+        assert summary["push_ms"]["p99"] is not None
+        assert summary["server"]["pushes"] >= 3 * 6
+
+
+class TestServeJsonLifecycle:
+    """`repro serve --json --status-interval`: the operator surface as a
+    real subprocess — event-tagged lines, periodic snapshots, and a
+    SIGTERM drain that still answers a final STATUS."""
+
+    def test_event_lines_and_sigterm_drain(self, tmp_path):
+        import json
+        import signal
+        import subprocess
+        import sys
+
+        server = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--store", str(tmp_path / "store"), "--json",
+             "--status-interval", "0.2"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+            cwd="/root/repo")
+        try:
+            ready = json.loads(server.stdout.readline())
+            assert ready["event"] == "ready"
+            port = ready["serving"]["port"]
+
+            values = TemperatureSensorGenerator(
+                eta=60, seed=64).generate(1200)
+            with RemoteClient("127.0.0.1", port) as client:
+                session = client.protect("ops", "1", KEY, params=PARAMS)
+                session.feed(values)
+                snapshot = client.status()
+            assert snapshot["server"]["pushes"] >= 1
+
+            status_line = json.loads(server.stdout.readline())
+            assert status_line["event"] == "status"
+            assert status_line["status"]["server"]["draining"] is False
+
+            server.send_signal(signal.SIGTERM)
+            events = [json.loads(line) for line in server.stdout]
+            assert server.wait(timeout=15) == 0
+            assert events[-1]["event"] == "drained"
+            assert events[-1]["drained"] is True
+            assert events[-1]["pushes"] >= 1
+        finally:
+            if server.poll() is None:
+                server.kill()
+            server.stdout.close()
+            server.stderr.close()

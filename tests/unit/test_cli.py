@@ -413,3 +413,99 @@ class TestRemoteCommands:
                      "--stream-id", "s", "--key", "k"])
         assert code == 2
         assert "cannot reach" in capsys.readouterr().err
+
+
+class TestObservabilityCommands:
+    """`repro status`, `repro loadgen` and the --json surfaces."""
+
+    @pytest.fixture()
+    def server(self, tmp_path):
+        import asyncio
+        import threading
+
+        from repro.server.service import StreamService
+
+        loop = asyncio.new_event_loop()
+        thread = threading.Thread(target=loop.run_forever, daemon=True)
+        thread.start()
+        service = StreamService(store_path=tmp_path / "obs-store",
+                                checkpoint_every=1)
+        host, port = asyncio.run_coroutine_threadsafe(
+            service.start(), loop).result(15)
+        yield host, port
+        asyncio.run_coroutine_threadsafe(service.drain(), loop).result(15)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=5)
+        loop.close()
+
+    def test_status_pretty_and_compact(self, server, capsys):
+        host, port = server
+        code = main(["status", f"{host}:{port}"])
+        assert code == 0
+        pretty = capsys.readouterr().out
+        snapshot = json.loads(pretty)
+        assert snapshot["server"]["draining"] is False
+        assert snapshot["metrics"]["enabled"] is True
+        assert "\n" in pretty.strip()  # indent=2
+
+        code = main(["status", f"{host}:{port}", "--json",
+                     "--wire", "json"])
+        assert code == 0
+        compact = capsys.readouterr().out
+        assert len(compact.strip().splitlines()) == 1
+        assert json.loads(compact)["server"]["connections"] >= 0
+
+    @pytest.mark.parametrize("address", ["nonsense", ":7000", "host:",
+                                         "host:port"])
+    def test_status_bad_address_is_clean_error(self, address, capsys):
+        code = main(["status", address])
+        assert code == 2
+        assert "HOST:PORT" in capsys.readouterr().err
+
+    def test_loadgen_host_without_port_is_clean_error(self, capsys):
+        code = main(["loadgen", "--host", "10.0.0.1"])
+        assert code == 2
+        assert "go together" in capsys.readouterr().err
+
+    def test_loadgen_smoke_writes_artifact(self, tmp_path, capsys):
+        out = tmp_path / "loadgen.json"
+        code = main(["loadgen", "--workers", "2", "--pushes", "4",
+                     "--chunk", "64", "--crash-every", "2",
+                     "--out", str(out)])
+        assert code == 0
+        printed = json.loads(capsys.readouterr().out)
+        saved = json.loads(out.read_text())
+        assert printed == saved
+        assert saved["verify_failures"] == 0
+        assert saved["worker_errors"] == []
+        assert saved["items"] == 2 * 4 * 64
+        assert saved["push_ms"]["p50"] is not None
+
+    def test_hub_status_json_is_one_object_per_line(self, tmp_path,
+                                                    capsys):
+        from repro import StreamHub
+        from repro.stores import DirectoryCheckpointStore
+
+        store_path = tmp_path / "store"
+        store = DirectoryCheckpointStore(store_path)
+        hub = StreamHub(store=store, checkpoint_every=1)
+        for sid in ("a", "b"):
+            hub.protect(sid, "1", b"k")
+            hub.push(sid, np.linspace(0.0, 5.0, 300))
+
+        code = main(["hub", "status", str(store_path), "--json"])
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        rows = [json.loads(line) for line in lines]
+        assert [row["stream_id"] for row in rows] == ["a", "b"]
+        assert all(row["items"] == 300 for row in rows)
+
+    def test_hub_status_json_empty_store_emits_no_lines(self, tmp_path,
+                                                        capsys):
+        from repro.stores import DirectoryCheckpointStore
+
+        store_path = tmp_path / "store"
+        DirectoryCheckpointStore(store_path)  # create empty
+        code = main(["hub", "status", str(store_path), "--json"])
+        assert code == 0
+        assert capsys.readouterr().out == ""

@@ -504,3 +504,43 @@ class TestStoreSummaryRaces:
         (tmp_path / "corrupt.json").write_text("{not json")
         with pytest.raises(CheckpointStoreError):
             store_summary(store)
+
+
+class TestStatsObservability:
+    """The derived health fields ISSUE 9 adds to ``stats()``."""
+
+    def test_checkpoint_lag_tracks_uncheckpointed_items(self):
+        store = MemoryCheckpointStore()
+        hub = StreamHub(store=store, checkpoint_every=2)
+        hub.protect("s", "1", b"k", params=PARAMS)
+        values = TemperatureSensorGenerator(eta=60, seed=7).generate(1200)
+        hub.push("s", values[:CHUNK])
+        assert hub.stats("s")["checkpoint_lag"] == CHUNK  # not yet written
+        assert hub.stats("s")["last_checkpoint_ts"] is None
+        hub.push("s", values[CHUNK:2 * CHUNK])  # cadence fires
+        stats = hub.stats("s")
+        assert stats["checkpoint_lag"] == 0
+        assert stats["last_checkpoint_ts"] is not None
+        hub.push("s", values[2 * CHUNK:])
+        assert hub.stats("s")["checkpoint_lag"] == 1200 - 2 * CHUNK
+
+    def test_no_store_means_lag_accumulates(self):
+        hub = StreamHub()
+        hub.protect("s", "1", b"k", params=PARAMS)
+        hub.push("s", np.linspace(0.0, 10.0, 500))
+        stats = hub.stats("s")
+        assert stats["checkpoint_lag"] == 500
+        assert stats["last_checkpoint_ts"] is None
+
+    def test_rate_and_cost_fields(self):
+        hub = StreamHub()
+        hub.protect("s", "1", b"k", params=PARAMS)
+        values = TemperatureSensorGenerator(eta=60, seed=8).generate(800)
+        hub.push("s", values[:400])
+        assert hub.stats("s")["items_per_s"] is None  # one push: no window
+        hub.push("s", values[400:])
+        stats = hub.stats("s")
+        assert stats["us_per_item"] is not None and stats["us_per_item"] > 0
+        assert stats["items_per_s"] is not None and stats["items_per_s"] > 0
+        assert stats["busy_seconds"] >= 0.0
+        json.dumps(stats)  # the whole row stays JSON-compatible

@@ -56,6 +56,15 @@ FRAMES = [
     {"type": "error", "code": "flow", "message": "no credits",
      "stream_id": "s1"},
     {"type": "bye", "reason": "drain"},
+    {"type": "status"},
+    {"type": "status", "payload": {
+        "server": {"pushes": 3, "draining": False},
+        "tenants": {"default": {"streams": 1}},
+        "metrics": {"enabled": True,
+                    "counters": {"server_frames_in_total"
+                                 "{transport=tcp,wire=binary}": 7},
+                    "histograms": {"hub_push_us": {"count": 2,
+                                                   "p99": 125.0}}}}},
 ]
 
 
@@ -303,7 +312,7 @@ class TestBinaryStrictness:
         with pytest.raises(ProtocolError, match="header"):
             BinaryFrameCodec().decode(bytes(_binary_body()[:5]))
 
-    @pytest.mark.parametrize("code", [0, 9, 255])
+    @pytest.mark.parametrize("code", [0, 10, 255])
     def test_unknown_type_code_rejected(self, code):
         body = _binary_body()
         body[0] = code
@@ -402,3 +411,49 @@ class TestHardFrameCap:
         decoder = FrameDecoder(max_bytes=10**15)
         assert decoder.feed(struct.pack(">I", 64) + b"{") == []
         assert decoder.pending_bytes == 5
+
+
+class TestStatusFrame:
+    """The observability frame: round-trips and a frozen code table."""
+
+    STATUS = {"type": "status", "payload": {
+        "server": {"pushes": 12, "draining": True,
+                   "uptime_seconds": 1.5},
+        "tenants": {"acme": {"streams": 2}},
+        "metrics": {"enabled": True, "counters": {
+            "server_frames_in_total{transport=tcp,wire=binary}": 9}},
+    }}
+
+    @pytest.mark.parametrize("wire", [WIRE_JSON, WIRE_BINARY])
+    def test_nested_snapshot_roundtrips_on_both_codecs(self, wire):
+        codec = codec_for(wire)
+        assert codec.decode(codec.encode(self.STATUS)) == self.STATUS
+
+    @pytest.mark.parametrize("wire", [WIRE_JSON, WIRE_BINARY])
+    def test_bare_request_roundtrips(self, wire):
+        codec = codec_for(wire)
+        assert codec.decode(codec.encode({"type": "status"})) \
+            == {"type": "status"}
+
+    def test_payload_must_be_an_object(self):
+        with pytest.raises(ProtocolError, match="payload"):
+            validate_frame({"type": "status", "payload": "nope"})
+
+    def test_unknown_status_field_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown"):
+            validate_frame({"type": "status", "snapshot": {}})
+
+    def test_binary_type_codes_are_frozen(self):
+        """STATUS must not renumber the pre-existing wire-2 type codes.
+
+        Codes are assigned by sorted frame name; "status" sorts after
+        every earlier name, so it MUST be the last code.  A frame type
+        added later must keep sorting after "status" (or the codec
+        needs an explicit, versioned table) — this pin is the tripwire.
+        """
+        from repro.server.protocol import _TYPE_CODES
+
+        assert _TYPE_CODES == {
+            "bye": 1, "credit": 2, "error": 3, "flush": 4, "hello": 5,
+            "open": 6, "push": 7, "result": 8, "status": 9,
+        }
