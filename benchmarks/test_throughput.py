@@ -24,6 +24,7 @@ from repro.experiments.throughput import (
     SEED_US_PER_ITEM,
     _embed_time,
     machine_calibration,
+    run_chaos_soak,
     run_hub_soak,
     run_loadgen_churn,
     run_metrics_overhead,
@@ -89,10 +90,24 @@ def test_throughput_overheads(benchmark):
           f"push p50 {churn['push_ms']['p50']} ms / p99 "
           f"{churn['push_ms']['p99']} ms, {churn['items_per_s']} items/s")
 
+    # Chaos soak: the same fleet through a chaotic client transport at
+    # a supervised server running a seeded fault plan (resets, torn
+    # checkpoint writes, forced crashes).  The robustness gate: every
+    # crash is restarted, every stream resumes, and the outputs stay
+    # bit-identical to a fault-free embed.
+    chaos_soak = run_chaos_soak()
+    print(f"chaos soak (seed {chaos_soak['seed']}): "
+          f"{chaos_soak['server_crashes']} server crashes / "
+          f"{chaos_soak['supervisor_restarts']} restarts, "
+          f"{chaos_soak['fault_events']} server-side faults, "
+          f"{chaos_soak['reconnects']} reconnects, "
+          f"verify_failures={chaos_soak['verify_failures']}")
+
     payload = throughput_json(result, scale, hub_soak=soak,
                               remote_loopback=loopback,
                               metrics_overhead=overhead,
-                              loadgen_churn=churn)
+                              loadgen_churn=churn,
+                              chaos_soak=chaos_soak)
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     with open(RESULTS_DIR / "BENCH_throughput.json", "w") as handle:
         json.dump(payload, handle, indent=1)
@@ -106,6 +121,17 @@ def test_throughput_overheads(benchmark):
     assert churn["push_ms"]["count"] > 0
     assert churn["push_ms"]["p50"] is not None
     assert churn["push_ms"]["p99"] is not None
+
+    # Chaos contract: zero stream loss, bit-identical outputs, the
+    # seeded plan forced at least 3 crash/restart cycles (so the soak
+    # actually exercised recovery), faults really fired, and SIGTERM
+    # still drains cleanly through the supervisor.
+    assert chaos_soak["verify_failures"] == 0
+    assert not chaos_soak["worker_errors"]
+    assert chaos_soak["supervisor_restarts"] >= 3
+    assert chaos_soak["server_crashes"] >= 3
+    assert chaos_soak["fault_events"] > 0
+    assert chaos_soak["supervisor_returncode"] == 0
 
     # Multiplexing must stay within a small factor of a dedicated
     # session regardless of machine speed (both sides measured here).

@@ -1,0 +1,378 @@
+"""Deterministic fault plans: every injected failure is replayable.
+
+A :class:`FaultPlan` says *what* can go wrong (rates and magnitudes per
+layer); a :class:`FaultInjector` decides *when* it actually does.  Every
+decision is drawn from a **named PRNG stream** — an independent
+``random.Random`` seeded from ``sha256(plan.seed || site-name)`` — so the
+fault sequence observed at any one site depends only on the plan's seed
+and that site's own call sequence, never on scheduling order across
+sites.  Run the same plan twice against the same workload and the same
+faults fire at the same operations: failures replay exactly, which is
+what makes a chaos soak debuggable instead of merely alarming.
+
+Every fired fault is appended to the injector's in-memory event list
+and, when a ``log_path`` is given, to a JSON-lines fault log (flushed
+per line, so even an injected hard crash leaves the full record behind
+— the CI ``chaos-smoke`` job uploads it as an artifact).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import random
+from pathlib import Path
+
+from repro.errors import ParameterError
+
+#: Phases of one PUSH ingest where a process crash may be armed.
+CRASH_PHASES = ("pre-ingest", "post-ingest", "post-delivery")
+
+
+def _rate(value, name: str) -> float:
+    try:
+        rate = float(value)
+    except (TypeError, ValueError):
+        raise ParameterError(
+            f"fault rate {name} must be a number, got {value!r}") from None
+    if not 0.0 <= rate <= 1.0:
+        raise ParameterError(
+            f"fault rate {name} must be within [0, 1], got {rate}")
+    return rate
+
+
+@dataclasses.dataclass(frozen=True)
+class TransportFaults:
+    """Per-message fault rates for one side of a transport.
+
+    Rates are independent probabilities evaluated once per message in a
+    fixed order (latency first, then exactly one of stall / drop /
+    truncate / reset), so one message suffers at most one terminal
+    fault.  ``connect_fail_rate`` applies per dial attempt instead.
+    """
+
+    latency_rate: float = 0.0
+    #: Uniform injected delay bounds, in milliseconds.
+    latency_ms: "tuple[float, float]" = (0.5, 5.0)
+    stall_rate: float = 0.0
+    stall_seconds: float = 0.5
+    drop_rate: float = 0.0
+    truncate_rate: float = 0.0
+    reset_rate: float = 0.0
+    connect_fail_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("latency_rate", "stall_rate", "drop_rate",
+                     "truncate_rate", "reset_rate", "connect_fail_rate"):
+            object.__setattr__(self, name, _rate(getattr(self, name), name))
+        low, high = self.latency_ms
+        object.__setattr__(self, "latency_ms",
+                           (float(low), max(float(low), float(high))))
+        object.__setattr__(self, "stall_seconds",
+                           max(0.0, float(self.stall_seconds)))
+
+    def active(self) -> bool:
+        """Whether any fault on this side can ever fire."""
+        return any(getattr(self, name) > 0.0
+                   for name in ("latency_rate", "stall_rate", "drop_rate",
+                                "truncate_rate", "reset_rate",
+                                "connect_fail_rate"))
+
+
+@dataclasses.dataclass(frozen=True)
+class StoreFaults:
+    """Per-operation fault rates for a checkpoint store."""
+
+    #: Probability a save persists only a prefix of the entry (the
+    #: classic torn write) and reports failure.
+    torn_write_rate: float = 0.0
+    #: Probability a save fails transiently (EIO) without touching disk.
+    io_error_rate: float = 0.0
+    #: Probability a read returns the previous entry instead of the
+    #: latest (a stale replica / lagging page cache).
+    stale_read_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("torn_write_rate", "io_error_rate", "stale_read_rate"):
+            object.__setattr__(self, name, _rate(getattr(self, name), name))
+
+    def active(self) -> bool:
+        """Whether any store fault can ever fire."""
+        return (self.torn_write_rate > 0.0 or self.io_error_rate > 0.0
+                or self.stale_read_rate > 0.0)
+
+
+@dataclasses.dataclass(frozen=True)
+class ProcessFaults:
+    """Hard-crash schedule for the server process.
+
+    ``crash_after_pushes`` bounds a uniform draw: each server life picks
+    a crash point in ``[low, high]`` ingested pushes, then dies with
+    ``os._exit(exit_code)`` at a PRNG-chosen phase of that push.
+    ``(0, 0)`` disables crashes.
+    """
+
+    crash_after_pushes: "tuple[int, int]" = (0, 0)
+    exit_code: int = 70
+
+    def __post_init__(self) -> None:
+        low, high = self.crash_after_pushes
+        low, high = int(low), int(high)
+        if low < 0 or high < low:
+            raise ParameterError(
+                "crash_after_pushes must be (low, high) with "
+                f"0 <= low <= high, got {self.crash_after_pushes!r}")
+        object.__setattr__(self, "crash_after_pushes", (low, high))
+        code = int(self.exit_code)
+        if not 1 <= code <= 255:
+            raise ParameterError(
+                f"crash exit_code must be in [1, 255], got {code}")
+        object.__setattr__(self, "exit_code", code)
+
+    def active(self) -> bool:
+        """Whether crashes are scheduled at all."""
+        return self.crash_after_pushes[1] > 0
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """A complete, serializable chaos configuration.
+
+    The plan is pure data — rates, bounds and one seed — and round-trips
+    through JSON (:meth:`dump` / :meth:`load`), so the exact fault
+    schedule of a soak run can be committed, shipped to CI, or attached
+    to a bug report and replayed.
+    """
+
+    seed: int = 0
+    client_transport: TransportFaults = dataclasses.field(
+        default_factory=TransportFaults)
+    server_transport: TransportFaults = dataclasses.field(
+        default_factory=TransportFaults)
+    store: StoreFaults = dataclasses.field(default_factory=StoreFaults)
+    process: ProcessFaults = dataclasses.field(default_factory=ProcessFaults)
+
+    def to_dict(self) -> dict:
+        """The plan as plain JSON-ready data."""
+        payload = dataclasses.asdict(self)
+        payload["format_version"] = 1
+        payload["kind"] = "fault-plan"
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_dict` output (validated)."""
+        if not isinstance(payload, dict):
+            raise ParameterError(
+                f"fault plan must be a JSON object, "
+                f"got {type(payload).__name__}")
+        data = dict(payload)
+        kind = data.pop("kind", "fault-plan")
+        if kind != "fault-plan":
+            raise ParameterError(
+                f"expected a fault-plan document, got kind {kind!r}")
+        version = data.pop("format_version", 1)
+        if int(version) > 1:
+            raise ParameterError(
+                f"fault plan written by a newer version ({version})")
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ParameterError(
+                f"unknown fault plan fields {sorted(unknown)}")
+        kwargs: dict = {"seed": int(data.get("seed", 0))}
+        for name, section_cls in (("client_transport", TransportFaults),
+                                  ("server_transport", TransportFaults),
+                                  ("store", StoreFaults),
+                                  ("process", ProcessFaults)):
+            section = data.get(name)
+            if section is None:
+                continue
+            if not isinstance(section, dict):
+                raise ParameterError(
+                    f"fault plan section {name!r} must be an object")
+            fields = {field.name for field in
+                      dataclasses.fields(section_cls)}
+            extra = set(section) - fields
+            if extra:
+                raise ParameterError(
+                    f"unknown fields {sorted(extra)} in fault plan "
+                    f"section {name!r}")
+            coerced = {
+                key: tuple(value) if isinstance(value, list) else value
+                for key, value in section.items()}
+            try:
+                kwargs[name] = section_cls(**coerced)
+            except TypeError as exc:
+                raise ParameterError(
+                    f"bad fault plan section {name!r}: {exc}") from exc
+        return cls(**kwargs)
+
+    def dump(self, path: "str | Path") -> None:
+        """Write the plan to a JSON file."""
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2,
+                                         sort_keys=True) + "\n")
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "FaultPlan":
+        """Read a plan back from a JSON file."""
+        try:
+            payload = json.loads(Path(path).read_text())
+        except FileNotFoundError:
+            raise ParameterError(f"fault plan file not found: {path}") \
+                from None
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ParameterError(
+                f"cannot read fault plan {path}: {exc}") from exc
+        return cls.from_dict(payload)
+
+
+class FaultInjector:
+    """Draws every chaos decision from named, independently-seeded PRNGs.
+
+    One injector serves a whole process (client or server side).  Each
+    decision site — ``"client.read"``, ``"server.store.put"``, … — gets
+    its own :class:`random.Random` seeded from the plan seed and the
+    site name, so adding a new site (or reordering unrelated traffic)
+    never perturbs the fault sequence of existing ones.
+    """
+
+    def __init__(self, plan: FaultPlan,
+                 log_path: "str | Path | None" = None) -> None:
+        self.plan = plan
+        self._streams: "dict[str, random.Random]" = {}
+        self.events: "list[dict]" = []
+        self._log_handle = None
+        if log_path is not None:
+            # Line-buffered append, flushed per event: an os._exit()
+            # crash right after a fault still leaves it on disk.
+            self._log_handle = open(log_path, "a", buffering=1)
+        #: Armed process-crash state for the current server life:
+        #: (crash_at_push, phase) once drawn, None until first gate.
+        self._crash_point: "tuple[int, str] | None" = None
+        self._crash_counter = 0
+
+    # -- PRNG plumbing ---------------------------------------------------
+    def rng(self, site: str) -> random.Random:
+        """The named decision stream for ``site`` (created on first use)."""
+        stream = self._streams.get(site)
+        if stream is None:
+            digest = hashlib.sha256(
+                f"{self.plan.seed}\x00{site}".encode("utf-8")).digest()
+            stream = random.Random(int.from_bytes(digest[:8], "big"))
+            self._streams[site] = stream
+        return stream
+
+    def record(self, site: str, fault: str, **detail) -> dict:
+        """Log one fired fault (in memory and to the JSON-lines log)."""
+        event = {"site": site, "fault": fault}
+        event.update(detail)
+        self.events.append(event)
+        if self._log_handle is not None:
+            self._log_handle.write(json.dumps(event, sort_keys=True) + "\n")
+        return event
+
+    def close(self) -> None:
+        """Close the fault log (idempotent)."""
+        if self._log_handle is not None:
+            self._log_handle.close()
+            self._log_handle = None
+
+    # -- transport decisions ---------------------------------------------
+    def message_fault(self, site: str,
+                      faults: TransportFaults) -> "dict | None":
+        """Decide the fate of one message at ``site``.
+
+        Draws in a fixed order from the site's stream: one uniform for
+        latency, one for the terminal fault class, plus magnitude draws
+        only when a fault fires — so the stream advances identically on
+        every replay.  Returns ``None`` (deliver untouched) or a dict
+        with ``fault`` plus magnitudes; terminal faults are mutually
+        exclusive per message.
+        """
+        stream = self.rng(site)
+        decision: "dict | None" = None
+        if faults.latency_rate and stream.random() < faults.latency_rate:
+            low, high = faults.latency_ms
+            decision = {"fault": "latency",
+                        "delay": stream.uniform(low, high) / 1000.0}
+        roll = stream.random()
+        for fault, rate in (("stall", faults.stall_rate),
+                            ("drop", faults.drop_rate),
+                            ("truncate", faults.truncate_rate),
+                            ("reset", faults.reset_rate)):
+            if rate <= 0.0:
+                continue
+            if roll < rate:
+                if fault == "stall":
+                    return {"fault": "stall",
+                            "delay": (decision or {}).get("delay", 0.0),
+                            "stall": faults.stall_seconds}
+                result = {"fault": fault}
+                if fault == "truncate":
+                    # Cut fraction in (0, 1): always at least one byte
+                    # missing, never the full frame.
+                    result["keep_fraction"] = stream.uniform(0.1, 0.9)
+                if decision is not None:
+                    result["delay"] = decision["delay"]
+                return result
+            roll -= rate
+        return decision
+
+    def connect_fault(self, site: str, faults: TransportFaults) -> bool:
+        """Whether this dial attempt is refused by the plan."""
+        if faults.connect_fail_rate <= 0.0:
+            return False
+        return self.rng(site).random() < faults.connect_fail_rate
+
+    # -- store decisions -------------------------------------------------
+    def store_write_fault(self, site: str,
+                          faults: StoreFaults) -> "dict | None":
+        """Decide the fate of one store write (torn / EIO / clean)."""
+        stream = self.rng(site)
+        roll = stream.random()
+        if faults.torn_write_rate and roll < faults.torn_write_rate:
+            return {"fault": "torn-write",
+                    "keep_fraction": stream.uniform(0.05, 0.95)}
+        roll -= faults.torn_write_rate
+        if faults.io_error_rate and roll < faults.io_error_rate:
+            return {"fault": "io-error"}
+        return None
+
+    def store_read_fault(self, site: str,
+                         faults: StoreFaults) -> "dict | None":
+        """Decide whether one store read observes a stale entry."""
+        if faults.stale_read_rate <= 0.0:
+            return None
+        if self.rng(site).random() < faults.stale_read_rate:
+            return {"fault": "stale-read"}
+        return None
+
+    # -- process crash gates ---------------------------------------------
+    def crash_gate(self, phase: str, site: str = "server.crash") -> None:
+        """Hard-crash the process when the armed (push, phase) is reached.
+
+        Call once per phase of every ingested push: the ``pre-ingest``
+        call advances the push counter.  When crashes are armed and the
+        counter reaches the drawn crash point at the drawn phase, the
+        event is logged (and flushed) and the process dies with
+        ``os._exit`` — no cleanup, exactly like a kill.
+        """
+        faults = self.plan.process
+        if not faults.active():
+            return
+        if self._crash_point is None:
+            stream = self.rng(site)
+            low, high = faults.crash_after_pushes
+            self._crash_point = (stream.randint(max(1, low), max(1, high)),
+                                 stream.choice(CRASH_PHASES))
+        if phase == CRASH_PHASES[0]:
+            self._crash_counter += 1
+        crash_at, crash_phase = self._crash_point
+        if self._crash_counter >= crash_at and phase == crash_phase:
+            self.record(site, "crash", push=self._crash_counter,
+                        phase=phase, exit_code=faults.exit_code)
+            self.close()
+            import os
+            os._exit(faults.exit_code)

@@ -1,0 +1,201 @@
+"""Process supervision: restart a crashing server until it stays up.
+
+:class:`Supervisor` runs one child command (normally ``repro serve``)
+and implements the classic supervision loop as a small, explicit state
+machine::
+
+    starting ──spawn──▶ running ──exit 0──▶ stopped   (exit code 0)
+       ▲                  │
+       │                  ├─ signal received ─▶ draining ─▶ stopped
+       │                  │     (SIGTERM forwarded; child drains)
+       │                  └─ non-zero exit
+       │                        │
+       │                 too many recent
+       │                 restarts? ──yes──▶ gave-up   (exit code 3)
+       │                        │no
+       └── backoff sleep ◀──────┘   (restart args appended, e.g. --recover)
+
+Restarts are counted over a sliding ``restart_window``: a server that
+crashes occasionally restarts forever, while a crash *loop* (the child
+dies faster than the window drains) trips the circuit breaker so a
+broken deployment fails loudly instead of flapping.  Each restart
+appends ``restart_args`` (``--recover`` for ``repro serve``) so the
+child comes back reading its checkpoint store.
+
+The supervisor emits one JSON line per state change on ``emit`` — the
+same machine-first convention as ``repro serve`` — which doubles as
+the restart log asserted by the chaos soak and archived by CI.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import subprocess
+import sys
+import threading
+import time
+from collections import deque
+
+from repro.errors import ParameterError
+
+#: Exit code when the crash-loop circuit breaker opens.
+GIVE_UP_EXIT = 3
+
+#: Signals forwarded to the child for a clean drain.
+_FORWARDED = (signal.SIGTERM, signal.SIGINT)
+
+
+def _default_emit(event: dict) -> None:
+    print(json.dumps(event), flush=True)
+
+
+class Supervisor:
+    """Run a command under restart-on-failure supervision.
+
+    Parameters
+    ----------
+    command:
+        The child argv (e.g. ``[sys.executable, "-m", "repro",
+        "serve", ...]``).
+    restart_args:
+        Extra argv appended on every restart (not the first launch) —
+        ``["--recover"]`` makes a restarted ``repro serve`` re-admit
+        its checkpointed streams.
+    max_restarts, restart_window:
+        The circuit breaker: more than ``max_restarts`` restarts within
+        the trailing ``restart_window`` seconds means a crash loop;
+        the supervisor gives up with exit code :data:`GIVE_UP_EXIT`.
+    backoff_base, backoff_max:
+        Restart delay: ``min(backoff_max, backoff_base * 2**n)`` after
+        ``n`` consecutive failures (reset when a child outlives the
+        window).
+    emit:
+        Callback for JSON-ready event dicts (default: print one JSON
+        line per event to stdout).
+    """
+
+    def __init__(self, command: "list[str]", *,
+                 restart_args: "tuple[str, ...] | list[str]" = (),
+                 max_restarts: int = 5, restart_window: float = 60.0,
+                 backoff_base: float = 0.5, backoff_max: float = 5.0,
+                 emit=None) -> None:
+        if not command:
+            raise ParameterError("supervisor needs a non-empty command")
+        self._command = [str(part) for part in command]
+        self._restart_args = [str(part) for part in restart_args]
+        self._max_restarts = max(0, int(max_restarts))
+        self._restart_window = max(0.1, float(restart_window))
+        self._backoff_base = max(0.0, float(backoff_base))
+        self._backoff_max = max(self._backoff_base, float(backoff_max))
+        self._emit = emit or _default_emit
+        self._child: "subprocess.Popen | None" = None
+        self._stop = threading.Event()
+        self.state = "starting"
+        self.restarts = 0
+
+    # -- control ---------------------------------------------------------
+    def request_stop(self, signum: int = signal.SIGTERM) -> None:
+        """Ask the supervisor to stop: forward the signal to the child.
+
+        Thread-safe (also invoked from the signal handler).  The child
+        gets the signal and is expected to drain and exit; the
+        supervision loop then returns instead of restarting.
+        """
+        self._stop.set()
+        child = self._child
+        if child is not None and child.poll() is None:
+            try:
+                child.send_signal(signum)
+            except (ProcessLookupError, OSError):  # pragma: no cover
+                pass
+
+    def _event(self, action: str, **fields) -> None:
+        event = {"event": "supervisor", "action": action,
+                 "state": self.state}
+        event.update(fields)
+        self._emit(event)
+
+    def _spawn(self, restarting: bool) -> "subprocess.Popen":
+        argv = list(self._command)
+        if restarting:
+            argv += [arg for arg in self._restart_args if arg not in argv]
+        child = subprocess.Popen(argv)
+        self._child = child
+        self.state = "running"
+        self._event("start", pid=child.pid, restart=restarting,
+                    restarts=self.restarts, argv=argv)
+        return child
+
+    def _sleep_backoff(self, failures: int) -> None:
+        delay = min(self._backoff_max,
+                    self._backoff_base * (2 ** max(0, failures - 1)))
+        self.state = "backoff"
+        self._event("backoff", delay=round(delay, 3))
+        # Sleep in slices so a stop request cuts the wait short.
+        self._stop.wait(timeout=delay)
+
+    # -- the loop --------------------------------------------------------
+    def run(self) -> int:
+        """Supervise until the child exits cleanly, is stopped, or the
+        circuit breaker opens.  Returns the supervisor's exit code."""
+        handlers: "dict[int, object]" = {}
+        on_main = threading.current_thread() is threading.main_thread()
+        if on_main:
+            for signum in _FORWARDED:
+                handlers[signum] = signal.signal(
+                    signum,
+                    lambda num, _frame: self.request_stop(num))
+        try:
+            return self._run_loop()
+        finally:
+            for signum, previous in handlers.items():
+                signal.signal(signum, previous)
+
+    def _run_loop(self) -> int:
+        recent: "deque[float]" = deque()
+        failures = 0
+        restarting = False
+        while True:
+            started = time.monotonic()
+            child = self._spawn(restarting)
+            returncode = child.wait()
+            self._event("exit", pid=child.pid, returncode=returncode,
+                        uptime=round(time.monotonic() - started, 3))
+            if time.monotonic() - started > self._restart_window:
+                failures = 0
+            if self._stop.is_set():
+                self.state = "stopped"
+                self._event("stopped", returncode=returncode)
+                return returncode
+            if returncode == 0:
+                self.state = "stopped"
+                self._event("stopped", returncode=0)
+                return 0
+            now = time.monotonic()
+            while recent and now - recent[0] > self._restart_window:
+                recent.popleft()
+            if len(recent) >= self._max_restarts:
+                self.state = "gave-up"
+                self._event("give-up", recent_restarts=len(recent),
+                            window=self._restart_window)
+                return GIVE_UP_EXIT
+            recent.append(now)
+            self.restarts += 1
+            failures += 1
+            self._sleep_backoff(failures)
+            if self._stop.is_set():
+                self.state = "stopped"
+                self._event("stopped", returncode=returncode)
+                return returncode
+            restarting = True
+
+
+def supervise_serve(serve_args: "list[str]", *, python: "str | None" = None,
+                    **options) -> Supervisor:
+    """Build a :class:`Supervisor` for ``repro serve`` with the given
+    CLI arguments; restarts append ``--recover`` unless already given."""
+    command = [python or sys.executable, "-m", "repro", "serve",
+               *serve_args]
+    restart_args = [] if "--recover" in serve_args else ["--recover"]
+    return Supervisor(command, restart_args=restart_args, **options)

@@ -1,0 +1,308 @@
+"""Chaos wrappers: fault-injecting Transport, Channel and CheckpointStore.
+
+Each wrapper delegates to a real component and consults a
+:class:`~repro.chaos.plan.FaultInjector` before (or instead of) every
+operation.  The wrapped component is untouched — chaos is a layer, not
+a fork — so every transport or store registered in
+:data:`repro.registry.REGISTRY` can run under fault injection:
+
+* :class:`ChaosChannel` / :class:`ChaosTransport` — per-message latency,
+  stalls, drops, mid-frame truncation (a *valid* transport message
+  carrying a prefix of the frame body, so the peer's codec chokes the
+  way a torn TCP stream would, on every transport), and hard resets.
+* :class:`ChaosCheckpointStore` — torn writes (a prefix of the entry is
+  durably stored, then the save fails), transient EIO, and stale reads
+  (the previous entry is served instead of the latest).
+
+:func:`install` activates a plan process-wide and registers the
+``chaos`` transport name, so ``--transport chaos`` works everywhere a
+transport name is accepted (client SDK, ``repro loadgen``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.chaos.plan import FaultInjector, FaultPlan, StoreFaults, \
+    TransportFaults
+from repro.errors import CheckpointStoreError, ReproError
+from repro.registry import REGISTRY
+from repro.server.protocol import MAX_FRAME_BYTES
+from repro.server.transports import Listener, Transport, \
+    TransportConnection, build_transport
+from repro.stores import CheckpointStore
+
+
+class ChaosChannel(TransportConnection):
+    """A transport connection that misbehaves per the fault plan.
+
+    Terminal faults surface as :class:`ConnectionResetError` after
+    aborting the inner channel — exactly what a genuine peer crash
+    looks like to the protocol layer, so recovery code cannot tell
+    injected failures from real ones (that is the point).
+    """
+
+    def __init__(self, inner: TransportConnection, injector: FaultInjector,
+                 faults: TransportFaults, site: str) -> None:
+        self._inner = inner
+        self._injector = injector
+        self._faults = faults
+        self._site = site
+        self.peer = inner.peer
+
+    async def _apply(self, decision: "dict | None", direction: str,
+                     body: "bytes | None" = None) -> "dict | None":
+        """Sleep for latency/stall decisions; raise for resets.
+
+        Returns the decision when the caller must keep handling it
+        (drop, truncate), ``None`` when the message may proceed.
+        """
+        if decision is None:
+            return None
+        fault = decision["fault"]
+        if decision.get("delay"):
+            await asyncio.sleep(decision["delay"])
+        if fault == "latency":
+            self._injector.record(self._site, "latency",
+                                  direction=direction,
+                                  delay=round(decision["delay"], 6))
+            return None
+        if fault == "stall":
+            self._injector.record(self._site, "stall", direction=direction,
+                                  seconds=decision["stall"])
+            await asyncio.sleep(decision["stall"])
+            return None
+        if fault == "reset":
+            self._injector.record(self._site, "reset", direction=direction)
+            self.abort()
+            raise ConnectionResetError(
+                f"chaos: injected reset ({direction}, {self._site})")
+        return decision
+
+    async def read_message(self) -> "bytes | None":
+        """Read one message, subject to injected read-side faults."""
+        decision = self._injector.message_fault(
+            self._site + ".read", self._faults)
+        decision = await self._apply(decision, "read")
+        if decision is not None and decision["fault"] == "drop":
+            # Reading "nothing" forever is indistinguishable from a
+            # stalled peer; model a read-side drop as a reset instead
+            # so the failure is prompt and recoverable.
+            self._injector.record(self._site, "reset", direction="read",
+                                  via="drop")
+            self.abort()
+            raise ConnectionResetError(
+                f"chaos: injected read failure ({self._site})")
+        return await self._inner.read_message()
+
+    async def write_message(self, body: bytes) -> None:
+        """Send one message, subject to injected write-side faults."""
+        decision = self._injector.message_fault(
+            self._site + ".write", self._faults)
+        decision = await self._apply(decision, "write", body)
+        if decision is None:
+            await self._inner.write_message(body)
+            return
+        fault = decision["fault"]
+        if fault == "drop":
+            self._injector.record(self._site, "drop", direction="write",
+                                  bytes=len(body))
+            return
+        if fault == "truncate":
+            keep = max(1, min(len(body) - 1,
+                              int(len(body) * decision["keep_fraction"])))
+            self._injector.record(self._site, "truncate", direction="write",
+                                  bytes=len(body), kept=keep)
+            try:
+                # A complete transport message carrying a torn frame
+                # body: the peer's codec rejects it, mimicking a crash
+                # mid-frame regardless of the underlying framing.
+                await self._inner.write_message(body[:keep])
+            finally:
+                self.abort()
+            raise ConnectionResetError(
+                f"chaos: injected mid-frame truncation ({self._site})")
+        await self._inner.write_message(body)  # pragma: no cover
+
+    async def write_messages(self, bodies: "list[bytes]") -> None:
+        """Send several messages, each drawing its own fault decision."""
+        for body in bodies:
+            await self.write_message(body)
+
+    async def close(self) -> None:
+        """Close the inner channel."""
+        await self._inner.close()
+
+    def abort(self) -> None:
+        """Abort the inner channel."""
+        self._inner.abort()
+
+
+#: Module-level active chaos configuration, set by :func:`install`.
+_ACTIVE: "dict | None" = None
+
+
+@REGISTRY.register("transport", "chaos",
+                   description="fault-injecting wrapper around another "
+                               "transport (repro.chaos.install)")
+class ChaosTransport(Transport):
+    """A registered transport that wraps another one with fault injection.
+
+    Constructed explicitly (``ChaosTransport(inner=..., injector=...)``)
+    or resolved by name — ``build_transport("chaos")`` — after
+    :func:`install` has activated a plan process-wide.
+    """
+
+    name = "chaos"
+
+    def __init__(self, inner: "Transport | None" = None,
+                 injector: "FaultInjector | None" = None,
+                 side: str = "client") -> None:
+        if inner is None or injector is None:
+            if _ACTIVE is None:
+                raise ReproError(
+                    "the chaos transport needs an installed fault plan: "
+                    "call repro.chaos.install(plan) first")
+            inner = inner or build_transport(_ACTIVE["inner"])
+            injector = injector or _ACTIVE["injector"]
+            side = _ACTIVE["side"]
+        self._inner = inner
+        self._injector = injector
+        self._side = side
+        self._faults = (injector.plan.server_transport if side == "server"
+                        else injector.plan.client_transport)
+
+    async def serve(self, host: str, port: int, handler, *,
+                    max_bytes: int = MAX_FRAME_BYTES) -> Listener:
+        """Serve via the inner transport, wrapping accepted channels."""
+        async def chaotic_handler(connection: TransportConnection):
+            await handler(ChaosChannel(connection, self._injector,
+                                       self._faults,
+                                       site=f"{self._side}.transport"))
+
+        return await self._inner.serve(host, port, chaotic_handler,
+                                       max_bytes=max_bytes)
+
+    async def connect(self, host: str, port: int, *,
+                      max_bytes: int = MAX_FRAME_BYTES
+                      ) -> TransportConnection:
+        """Dial via the inner transport (dials themselves may fail)."""
+        site = f"{self._side}.transport"
+        if self._injector.connect_fault(site + ".connect", self._faults):
+            self._injector.record(site, "connect-fail", host=host,
+                                  port=port)
+            raise ConnectionRefusedError(
+                f"chaos: injected dial failure to {host}:{port}")
+        connection = await self._inner.connect(host, port,
+                                               max_bytes=max_bytes)
+        return ChaosChannel(connection, self._injector, self._faults,
+                            site=site)
+
+
+def install(plan: "FaultPlan | FaultInjector", *, inner: str = "tcp",
+            side: str = "client",
+            log_path=None) -> FaultInjector:
+    """Activate a fault plan for name-resolved chaos transports.
+
+    After this, ``build_transport("chaos")`` (hence ``--transport
+    chaos`` anywhere a transport name is accepted) wraps the ``inner``
+    transport with the given plan.  Returns the active injector so the
+    caller can inspect its event log.  Call :func:`uninstall` to
+    deactivate.
+    """
+    global _ACTIVE
+    injector = (plan if isinstance(plan, FaultInjector)
+                else FaultInjector(plan, log_path=log_path))
+    _ACTIVE = {"injector": injector, "inner": inner, "side": side}
+    return injector
+
+
+def uninstall() -> None:
+    """Deactivate the process-wide chaos transport configuration."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def installed() -> "FaultInjector | None":
+    """The active injector, or ``None`` when chaos is not installed."""
+    return None if _ACTIVE is None else _ACTIVE["injector"]
+
+
+class ChaosCheckpointStore(CheckpointStore):
+    """A checkpoint store wrapper that injects storage failures.
+
+    Envelope-level reads (``entry``/``load``/sequence numbering) are
+    delegated to the inner store so its own recovery semantics — e.g.
+    :class:`~repro.stores.DirectoryCheckpointStore` generation fallback
+    — stay in force under injection; faults enter at the write path
+    (torn writes, transient EIO) and at ``entry`` (stale reads).
+    """
+
+    def __init__(self, inner: CheckpointStore, injector: FaultInjector,
+                 site: str = "store") -> None:
+        self._inner = inner
+        self._injector = injector
+        self._site = site
+        self._faults: StoreFaults = injector.plan.store
+        #: Previous entry text per stream, served on stale reads.
+        self._shadow: "dict[str, str]" = {}
+
+    @property
+    def inner(self) -> CheckpointStore:
+        """The wrapped store."""
+        return self._inner
+
+    # -- faulty primitives ----------------------------------------------
+    def _put(self, stream_id: str, text: str) -> None:
+        decision = self._injector.store_write_fault(
+            self._site + ".put", self._faults)
+        if decision is not None:
+            if decision["fault"] == "io-error":
+                self._injector.record(self._site, "io-error",
+                                      stream=stream_id)
+                raise CheckpointStoreError(
+                    f"chaos: transient I/O error writing checkpoint "
+                    f"for {stream_id!r}")
+            keep = max(1, min(len(text) - 1,
+                              int(len(text) * decision["keep_fraction"])))
+            self._injector.record(self._site, "torn-write",
+                                  stream=stream_id, bytes=len(text),
+                                  kept=keep)
+            # The torn prefix lands durably (the inner write is atomic,
+            # but atomically writes garbage) and the save still reports
+            # failure — the worst honest outcome of a crash mid-write.
+            self._inner._put(stream_id, text[:keep])
+            raise CheckpointStoreError(
+                f"chaos: torn write for checkpoint {stream_id!r} "
+                f"({keep}/{len(text)} bytes persisted)")
+        previous = self._inner._get(stream_id)
+        if previous is not None:
+            self._shadow[stream_id] = previous
+        self._inner._put(stream_id, text)
+
+    def _get(self, stream_id: str) -> "str | None":
+        return self._inner._get(stream_id)
+
+    def _discard(self, stream_id: str) -> bool:
+        self._shadow.pop(stream_id, None)
+        return self._inner._discard(stream_id)
+
+    def _ids(self) -> "list[str]":
+        return self._inner._ids()
+
+    # -- envelope ops delegated for inner-store semantics ----------------
+    def entry(self, stream_id: str) -> dict:
+        """Inner entry lookup, possibly served stale per the plan."""
+        decision = self._injector.store_read_fault(
+            self._site + ".get", self._faults)
+        stale = self._shadow.get(stream_id)
+        if decision is not None and stale is not None:
+            self._injector.record(self._site, "stale-read",
+                                  stream=stream_id)
+            return self._decode(stale, stream_id)
+        return self._inner.entry(stream_id)
+
+    def _current_sequence(self, stream_id: str) -> int:
+        # Sequence numbering must see the inner store's own view
+        # (including any generation fallback), never the stale shadow.
+        return self._inner._current_sequence(stream_id)

@@ -25,7 +25,17 @@ A thin, scriptable wrapper over the library for the Fig-1 workflow:
 * ``loadgen`` — churn load generator: N concurrent clients connect,
   push, crash and resume against a server (spawned in-process by
   default), reporting a latency histogram and verifying exactly-once
-  delivery under churn.
+  delivery under churn;
+* ``supervise`` — run ``repro serve`` as a supervised child process:
+  non-zero exits restart it with ``--recover`` under exponential
+  backoff (with a crash-loop circuit breaker), SIGTERM is forwarded
+  for a clean drain (:mod:`repro.chaos.supervisor`).
+
+``serve --chaos plan.json`` and ``loadgen --chaos plan.json`` inject
+deterministic faults from a :class:`repro.chaos.FaultPlan` file
+(server/store/process faults and client transport faults
+respectively); ``remote`` and ``loadgen`` accept ``--retry-*`` flags
+shaping the client's :class:`repro.chaos.RetryPolicy`.
 
 All component names — encoding choices, attack/transform kinds — resolve
 through the central :class:`repro.registry.ComponentRegistry`; a newly
@@ -56,6 +66,60 @@ from repro.errors import ReproError
 from repro.registry import REGISTRY
 from repro.streams.io import load_stream_csv, save_stream_csv
 from repro.streams.normalize import Normalizer
+
+
+def add_retry_flags(p: argparse.ArgumentParser) -> None:
+    """The ``--retry-*`` knobs shared by ``remote`` and ``loadgen``.
+
+    Defaults are ``None`` so :func:`_retry_policy` can tell "flag not
+    given" (use the client SDK's default policy) from an explicit value.
+    """
+    p.add_argument("--retry-attempts", type=int, default=None,
+                   metavar="N",
+                   help="dial attempts per reconnect cycle "
+                        "(default: the SDK policy, 40)")
+    p.add_argument("--retry-base-delay", type=float, default=None,
+                   metavar="SECONDS",
+                   help="first backoff cap; doubles per attempt with "
+                        "full jitter (default 0.05)")
+    p.add_argument("--retry-max-delay", type=float, default=None,
+                   metavar="SECONDS",
+                   help="backoff ceiling (default 2)")
+    p.add_argument("--retry-deadline", type=float, default=None,
+                   metavar="SECONDS",
+                   help="overall wall-clock budget per reconnect cycle "
+                        "(default 60)")
+    p.add_argument("--retry-op-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="per-operation read timeout; a server silent "
+                        "longer counts as a lost connection "
+                        "(default 30)")
+
+
+def _retry_policy(args):
+    """A :class:`repro.chaos.RetryPolicy` from ``--retry-*`` flags, or
+    ``None`` when no flag was given (the SDK default applies)."""
+    values = {name: getattr(args, f"retry_{name}", None)
+              for name in ("attempts", "base_delay", "max_delay",
+                           "deadline", "op_timeout")}
+    if all(value is None for value in values.values()):
+        return None
+    from repro.chaos.retry import RetryPolicy
+    defaults = RetryPolicy()
+    return RetryPolicy(**{name: (getattr(defaults, name)
+                                 if value is None else value)
+                          for name, value in values.items()})
+
+
+def _fault_injector(args, *, log_attr: str = "chaos_log"):
+    """Build a :class:`repro.chaos.FaultInjector` from ``--chaos`` (and
+    ``--chaos-log``), or ``None`` when chaos is off."""
+    plan_path = getattr(args, "chaos", None)
+    if plan_path is None:
+        return None
+    from repro.chaos import FaultInjector, FaultPlan
+    return FaultInjector(FaultPlan.load(plan_path),
+                         log_path=getattr(args, log_attr, None))
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -235,6 +299,41 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="strict machine-readable lifecycle output: "
                             "one JSON object per line, each tagged with "
                             "an 'event' field (ready/status/drained)")
+    serve.add_argument("--chaos", metavar="PLAN.json", default=None,
+                       help="inject faults per this fault-plan file "
+                            "(repro.chaos.FaultPlan): server transport "
+                            "and store faults, plus scheduled process "
+                            "crashes")
+    serve.add_argument("--chaos-log", metavar="PATH", default=None,
+                       help="append every injected fault as a JSON "
+                            "line here (the chaos-smoke CI artifact)")
+
+    supervise = sub.add_parser(
+        "supervise",
+        help="run `repro serve` as a supervised child: restart with "
+             "--recover on non-zero exit (backoff + crash-loop circuit "
+             "breaker), forward SIGTERM for a clean drain")
+    supervise.add_argument("--max-restarts", type=int, default=5,
+                           help="restarts tolerated within "
+                                "--restart-window before giving up "
+                                "with exit code 3 (default 5)")
+    supervise.add_argument("--restart-window", type=float, default=60.0,
+                           metavar="SECONDS",
+                           help="sliding window for the crash-loop "
+                                "circuit breaker (default 60)")
+    supervise.add_argument("--backoff-base", type=float, default=0.5,
+                           metavar="SECONDS",
+                           help="restart delay after the first failure; "
+                                "doubles per consecutive failure "
+                                "(default 0.5)")
+    supervise.add_argument("--backoff-max", type=float, default=5.0,
+                           metavar="SECONDS",
+                           help="restart delay ceiling (default 5)")
+    supervise.add_argument("serve_args", nargs=argparse.REMAINDER,
+                           metavar="-- SERVE_ARGS",
+                           help="arguments passed to `repro serve` "
+                                "(prefix with --), e.g. "
+                                "-- --port 7707 --store hub-store")
 
     status_parser = sub.add_parser(
         "status", help="query a serving endpoint's STATUS snapshot")
@@ -284,6 +383,11 @@ def _build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--out", metavar="PATH", default=None,
                          help="also write the summary JSON here "
                               "(the CI histogram artifact)")
+    loadgen.add_argument("--chaos", metavar="PLAN.json", default=None,
+                         help="wrap the dialing transport with "
+                              "client-side fault injection per this "
+                              "fault-plan file")
+    add_retry_flags(loadgen)
 
     remote = sub.add_parser(
         "remote", help="drive a repro serve endpoint as a client")
@@ -310,6 +414,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="wire codec to request: 'json' or 'binary' "
                             "(default 'binary'; the server may grant "
                             "less)")
+        add_retry_flags(p)
 
     remote_embed = remote_sub.add_parser(
         "embed", help="watermark a CSV stream through a remote server")
@@ -640,6 +745,8 @@ def _cmd_serve(args) -> int:
             payload = {"event": event, **payload}
         print(json.dumps(payload), flush=True)
 
+    injector = _fault_injector(args)
+
     async def run() -> None:
         service = StreamService(
             host=args.host, port=args.port, store_path=args.store,
@@ -650,7 +757,8 @@ def _cmd_serve(args) -> int:
             max_live_sessions=args.max_live, recover=args.recover,
             status_interval=args.status_interval,
             status_sink=lambda snapshot:
-            emit("status", {"status": snapshot}))
+            emit("status", {"status": snapshot}),
+            fault_injector=injector)
         host, port = await service.start()
         recoverable = service.recoverable() if args.recover else {}
         status = service.status()
@@ -697,7 +805,7 @@ def _cmd_remote_embed(args) -> int:
     values = _load(args)
     with RemoteClient(args.host, args.port, tenant=args.tenant,
                       transport=args.transport,
-                      wire=args.wire) as client:
+                      wire=args.wire, retry=_retry_policy(args)) as client:
         session = client.protect(args.stream_id, args.watermark,
                                  _require_key(args), params=_params(args),
                                  encoding=args.encoding)
@@ -724,7 +832,7 @@ def _cmd_remote_detect(args) -> int:
     values = _load(args)
     with RemoteClient(args.host, args.port, tenant=args.tenant,
                       transport=args.transport,
-                      wire=args.wire) as client:
+                      wire=args.wire, retry=_retry_policy(args)) as client:
         session = client.detect(args.stream_id, args.bits,
                                 _require_key(args), params=_params(args),
                                 encoding=args.encoding,
@@ -781,12 +889,22 @@ def _cmd_loadgen(args) -> int:
     if (args.host is None) != (args.port is None):
         raise ReproError("--host and --port go together (omit both to "
                          "spawn an in-process server)")
+    transport = args.transport
+    if args.chaos is not None:
+        # Client-side chaos: wrap the dialing transport with the plan's
+        # client faults; the registry-resolved "chaos" name keeps every
+        # downstream build_transport() call untouched.
+        import repro.chaos as chaos
+        chaos.install(chaos.FaultPlan.load(args.chaos),
+                      inner=args.transport, side="client")
+        transport = "chaos"
     summary = run_loadgen(workers=args.workers, pushes=args.pushes,
                           chunk=args.chunk, crash_every=args.crash_every,
                           host=args.host, port=args.port,
-                          transport=args.transport, wire=args.wire,
+                          transport=transport, wire=args.wire,
                           tenant=args.tenant,
-                          verify_bits=args.verify_bits)
+                          verify_bits=args.verify_bits,
+                          retry=_retry_policy(args))
     print(json.dumps(summary, indent=2))
     if args.out:
         with open(args.out, "w") as handle:
@@ -798,6 +916,21 @@ def _cmd_loadgen(args) -> int:
         else 0
 
 
+def _cmd_supervise(args) -> int:
+    from repro.chaos.supervisor import supervise_serve
+
+    serve_args = list(args.serve_args)
+    # argparse.REMAINDER keeps the literal "--" separator; drop it.
+    if serve_args and serve_args[0] == "--":
+        serve_args = serve_args[1:]
+    supervisor = supervise_serve(serve_args,
+                                 max_restarts=args.max_restarts,
+                                 restart_window=args.restart_window,
+                                 backoff_base=args.backoff_base,
+                                 backoff_max=args.backoff_max)
+    return supervisor.run()
+
+
 _COMMANDS = {
     "embed": _cmd_embed,
     "detect": _cmd_detect,
@@ -806,6 +939,7 @@ _COMMANDS = {
     "list": _cmd_list,
     "hub": _cmd_hub,
     "serve": _cmd_serve,
+    "supervise": _cmd_supervise,
     "remote": _cmd_remote,
     "status": _cmd_status,
     "loadgen": _cmd_loadgen,

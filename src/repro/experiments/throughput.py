@@ -241,7 +241,8 @@ def throughput_json(result: ExperimentResult, scale: float = 1.0,
                     remote_loopback: "dict | None" = None,
                     detect_parallel: "dict | None" = None,
                     metrics_overhead: "dict | None" = None,
-                    loadgen_churn: "dict | None" = None) -> dict:
+                    loadgen_churn: "dict | None" = None,
+                    chaos_soak: "dict | None" = None) -> dict:
     """The ``BENCH_throughput.json`` payload for a measured run."""
     encodings = {}
     for row in result.rows:
@@ -269,6 +270,8 @@ def throughput_json(result: ExperimentResult, scale: float = 1.0,
         payload["metrics_overhead"] = metrics_overhead
     if loadgen_churn is not None:
         payload["loadgen_churn"] = loadgen_churn
+    if chaos_soak is not None:
+        payload["chaos_soak"] = chaos_soak
     return payload
 
 
@@ -412,6 +415,145 @@ def run_loadgen_churn(workers: int = 6, pushes: int = 10,
 
     return run_loadgen(workers=workers, pushes=pushes, chunk=chunk,
                        crash_every=crash_every, verify_bits=True)
+
+
+def run_chaos_soak(workers: int = 3, pushes: int = 12, chunk: int = 128,
+                   crash_every: int = 4, seed: int = 1104) -> dict:
+    """Supervised serving under a seeded fault plan: the resilience gate.
+
+    Spawns ``repro supervise`` around a ``repro serve`` child running
+    with a seeded chaos plan (connection resets, torn checkpoint
+    writes, transient store EIO, forced process crashes), then drives
+    the churn fleet at it through a chaos-wrapped *client* transport
+    (latency, resets, mid-frame truncation) with a generous
+    :class:`~repro.chaos.RetryPolicy`.  The soak proves the robustness
+    contract end to end: the supervisor restarts every forced crash
+    with ``--recover``, resumed streams replay exactly the missing
+    suffix, and every worker's released output is **bit-identical** to
+    a fault-free local embed of the same items —
+    ``verify_failures == 0`` means zero stream loss *and*
+    bit-identity.  The summary is the ``chaos_soak`` row of
+    ``BENCH_throughput.json``.
+    """
+    import os
+    import shutil
+    import signal
+    import socket
+    import subprocess
+    import sys
+    import tempfile
+    import threading
+
+    from repro import chaos
+    from repro.obs.loadgen import run_loadgen
+
+    workdir = tempfile.mkdtemp(prefix="repro-chaos-soak-")
+    plan = chaos.FaultPlan(
+        seed=seed,
+        client_transport=chaos.TransportFaults(
+            latency_rate=0.05, latency_ms=(0.1, 0.8),
+            reset_rate=0.02, truncate_rate=0.01),
+        server_transport=chaos.TransportFaults(reset_rate=0.01),
+        store=chaos.StoreFaults(torn_write_rate=0.05,
+                                io_error_rate=0.05),
+        process=chaos.ProcessFaults(crash_after_pushes=(6, 10)),
+    )
+    plan_path = os.path.join(workdir, "plan.json")
+    plan.dump(plan_path)
+    faults_path = os.path.join(workdir, "faults.jsonl")
+    store_dir = os.path.join(workdir, "store")
+
+    # A fixed port, unlike the ``--port 0`` benches: the child must
+    # come back on the *same* address after every crash or the fleet's
+    # redials would land in the void.
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+
+    supervisor = subprocess.Popen(
+        [sys.executable, "-m", "repro", "supervise",
+         "--max-restarts", "100", "--restart-window", "300",
+         "--backoff-base", "0.05", "--backoff-max", "0.2", "--",
+         "--port", str(port), "--store", store_dir,
+         "--chaos", plan_path, "--chaos-log", faults_path, "--json"],
+        stdout=subprocess.PIPE, text=True)
+    lines: "list[str]" = []
+    ready = threading.Event()
+
+    def _drain() -> None:
+        for line in supervisor.stdout:
+            lines.append(line)
+            if '"serving"' in line:
+                ready.set()
+        ready.set()  # EOF unblocks the waiter even on startup failure
+
+    reader = threading.Thread(target=_drain, daemon=True)
+    reader.start()
+    try:
+        if not ready.wait(timeout=30) or supervisor.poll() is not None:
+            raise RuntimeError(
+                "supervised chaos server never came up:\n"
+                + "".join(lines))
+        chaos.install(plan, inner="tcp", side="client")
+        try:
+            summary = run_loadgen(
+                workers=workers, pushes=pushes, chunk=chunk,
+                crash_every=crash_every, host="127.0.0.1", port=port,
+                transport="chaos", verify_bits=True,
+                retry=chaos.RetryPolicy(attempts=200, base_delay=0.02,
+                                        max_delay=0.25, deadline=120.0,
+                                        op_timeout=15.0))
+        finally:
+            chaos.uninstall()
+    finally:
+        supervisor.send_signal(signal.SIGTERM)
+        try:
+            returncode = supervisor.wait(timeout=30)
+        except subprocess.TimeoutExpired:  # pragma: no cover - hang guard
+            supervisor.kill()
+            returncode = supervisor.wait(timeout=10)
+        reader.join(timeout=10)
+        supervisor.stdout.close()
+
+    starts = crashes = 0
+    for line in lines:
+        try:
+            event = json.loads(line)
+        except ValueError:
+            continue
+        if event.get("event") != "supervisor":
+            continue
+        if event.get("action") == "start":
+            starts += 1
+        elif event.get("action") == "exit" and event.get("returncode"):
+            crashes += 1
+    fault_events = 0
+    if os.path.exists(faults_path):
+        with open(faults_path) as handle:
+            fault_events = sum(1 for raw in handle if raw.strip())
+    shutil.rmtree(workdir, ignore_errors=True)
+    return {
+        "seed": seed,
+        "workers": workers,
+        "pushes_per_stream": pushes,
+        "chunk": chunk,
+        "crash_every": crash_every,
+        "items": summary["items"],
+        "pushes": summary["pushes"],
+        "client_crashes": summary["crashes"],
+        "resumes": summary["resumes"],
+        "reconnects": summary["reconnects"],
+        "verify_failures": summary["verify_failures"],
+        "worker_errors": summary["worker_errors"],
+        "server_crashes": crashes,
+        "supervisor_restarts": max(starts - 1, 0),
+        "supervisor_returncode": returncode,
+        "fault_events": fault_events,
+        "elapsed_seconds": summary["elapsed_seconds"],
+        "items_per_s": summary["items_per_s"],
+        "push_ms": summary["push_ms"],
+    }
 
 
 # ----------------------------------------------------------------------
@@ -825,13 +967,21 @@ def main(argv: "list[str] | None" = None) -> int:
           f"{churn['push_ms']['p50']} ms, p99 {churn['push_ms']['p99']} "
           f"ms, {churn['items_per_s']} items/s, "
           f"verify_failures={churn['verify_failures']}")
+    chaos_soak = run_chaos_soak()
+    print(f"chaos soak (seed {chaos_soak['seed']}): "
+          f"{chaos_soak['server_crashes']} server crashes / "
+          f"{chaos_soak['supervisor_restarts']} restarts, "
+          f"{chaos_soak['fault_events']} server-side faults, "
+          f"{chaos_soak['reconnects']} reconnects, "
+          f"verify_failures={chaos_soak['verify_failures']}")
     if args.json:
         with open(args.json, "w") as handle:
             json.dump(throughput_json(result, args.scale, hub_soak=soak,
                                       remote_loopback=loopback,
                                       detect_parallel=parallel,
                                       metrics_overhead=overhead,
-                                      loadgen_churn=churn),
+                                      loadgen_churn=churn,
+                                      chaos_soak=chaos_soak),
                       handle, indent=1)
             handle.write("\n")
         print(f"wrote {args.json}")
@@ -843,6 +993,20 @@ def main(argv: "list[str] | None" = None) -> int:
                 "loadgen_churn: exactly-once delivery violated under "
                 f"churn ({churn['verify_failures']} verify failures, "
                 f"{len(churn['worker_errors'])} worker errors)")
+        if chaos_soak["verify_failures"] or chaos_soak["worker_errors"]:
+            failures.append(
+                "chaos_soak: stream loss or bit drift under faults "
+                f"({chaos_soak['verify_failures']} verify failures, "
+                f"{len(chaos_soak['worker_errors'])} worker errors)")
+        if chaos_soak["supervisor_restarts"] < 3:
+            failures.append(
+                "chaos_soak: expected the seeded plan to force >= 3 "
+                "server crash/restart cycles, saw "
+                f"{chaos_soak['supervisor_restarts']}")
+        if chaos_soak["supervisor_returncode"] != 0:
+            failures.append(
+                "chaos_soak: supervisor did not stop cleanly on "
+                f"SIGTERM (exit {chaos_soak['supervisor_returncode']})")
         if failures:
             for line in failures:
                 print(f"SPEEDUP FLOOR MISSED — {line}")

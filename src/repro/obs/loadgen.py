@@ -30,6 +30,7 @@ import time
 
 import numpy as np
 
+from repro.errors import RemoteError, ReproError
 from repro.obs.metrics import LATENCY_MS_BUCKETS, Histogram
 from repro.server.client import AsyncRemoteClient
 
@@ -38,11 +39,16 @@ async def _worker(index: int, host: str, port: int, *, tenant: str,
                   transport: str, wire: str, data: np.ndarray,
                   pushes: int, chunk: int, crash_every: int, params,
                   histogram: Histogram, totals: dict,
-                  verify_bits: bool) -> None:
+                  verify_bits: bool, retry=None) -> None:
     """One client: open, feed (crashing on cadence), finish, verify."""
-    client = AsyncRemoteClient(host, port, tenant=tenant,
-                               transport=transport, wire=wire,
-                               reconnect_delay=0.05)
+    if retry is None:
+        client = AsyncRemoteClient(host, port, tenant=tenant,
+                                   transport=transport, wire=wire,
+                                   reconnect_delay=0.05)
+    else:
+        client = AsyncRemoteClient(host, port, tenant=tenant,
+                                   transport=transport, wire=wire,
+                                   retry=retry)
     key = b"loadgen-%d" % index
     try:
         session = await client.protect(f"churn-{index}", "1", key,
@@ -104,13 +110,19 @@ async def run_loadgen_async(*, workers: int = 4, pushes: int = 8,
                             transport: str = "tcp",
                             wire: str = "binary",
                             tenant: str = "loadgen",
-                            verify_bits: bool = False) -> dict:
+                            verify_bits: bool = False,
+                            retry=None) -> dict:
     """Run the churn scenario; return the summary dict.
 
     With no ``host``/``port`` an in-process server is spawned on a
     free loopback port (checkpointing every 4 pushes so resumes have
     durable state to land on) and drained when the fleet is done; its
-    lifetime counters ride along under ``server``.
+    lifetime counters ride along under ``server``.  ``retry`` is an
+    optional :class:`repro.chaos.RetryPolicy` for the worker clients.
+
+    An unreachable external target (or an unbindable spawn address)
+    raises :class:`~repro.errors.ReproError` up front — one clean
+    failure instead of ``workers`` stacked dial errors.
     """
     from repro.experiments.config import synthetic_params
     from repro.experiments.datasets import reference_synthetic
@@ -124,7 +136,28 @@ async def run_loadgen_async(*, workers: int = 4, pushes: int = 8,
         service = StreamService(host="127.0.0.1", port=0,
                                 transport=transport, max_wire=wire,
                                 checkpoint_every=4)
-        host, port = await service.start()
+        try:
+            host, port = await service.start()
+        except OSError as exc:
+            raise ReproError(
+                f"cannot spawn the in-process loadgen server: {exc}"
+            ) from exc
+    else:
+        # Preflight the external endpoint once: a dead or non-repro
+        # address fails fast with one error instead of a pile of
+        # per-worker dial failures.
+        probe = AsyncRemoteClient(host, port, tenant=tenant,
+                                  transport=transport, wire=wire,
+                                  reconnect_attempts=2,
+                                  reconnect_delay=0.1)
+        try:
+            await probe.connect()
+            await probe.close()
+        except RemoteError as exc:
+            raise RemoteError(
+                exc.code,
+                f"loadgen target {host}:{port} ({transport}) is not "
+                f"usable: {exc}") from exc
     histogram = Histogram(LATENCY_MS_BUCKETS)
     totals = {"items": 0, "pushes": 0, "crashes": 0, "resumes": 0,
               "reconnects": 0, "verify_failures": 0}
@@ -134,7 +167,7 @@ async def run_loadgen_async(*, workers: int = 4, pushes: int = 8,
                   wire=wire, data=data[index * span:(index + 1) * span],
                   pushes=pushes, chunk=chunk, crash_every=crash_every,
                   params=params, histogram=histogram, totals=totals,
-                  verify_bits=verify_bits)
+                  verify_bits=verify_bits, retry=retry)
           for index in range(workers)],
         return_exceptions=True)
     elapsed = time.perf_counter() - started

@@ -37,11 +37,13 @@ buffering unboundedly.
 from __future__ import annotations
 
 import asyncio
+import logging
 import threading
 from collections import deque
 
 import numpy as np
 
+from repro.chaos.retry import RetryPolicy
 from repro.core.detector import DetectionResult
 from repro.core.scanner import ScanCounters
 from repro.core.serialize import params_to_dict
@@ -50,18 +52,27 @@ from repro.errors import (
     ParameterError,
     ProtocolError,
     RemoteError,
+    ReproError,
 )
 from repro.server import protocol
 from repro.server.transports import TransportConnection, build_transport
 
 _EMPTY = np.empty(0, dtype=np.float64)
 
+logger = logging.getLogger("repro.server.client")
+
 #: Errors that mean "the connection is gone" (trigger reconnect), as
 #: opposed to semantic failures the server reported on a healthy link.
-#: ConnectionResetError (raised by our own read path on EOF/BYE) is a
-#: ConnectionError subclass, so it is covered.
+#: ConnectionResetError (raised by our own read path on EOF/BYE/torn
+#: frames/op timeouts) is a ConnectionError subclass, so it is covered.
+#: ProtocolError is deliberately *not* here: a malformed conversation on
+#: a healthy link is a bug to surface, not weather to retry — wire-level
+#: damage is converted to ConnectionResetError at the read boundary.
 _CONNECTION_ERRORS = (ConnectionError, OSError, EOFError,
-                      asyncio.IncompleteReadError, ProtocolError)
+                      asyncio.IncompleteReadError)
+
+#: Timeouts differ across asyncio generations (3.10 has both).
+_TIMEOUT_ERRORS = (TimeoutError, asyncio.TimeoutError)
 
 
 class AsyncRemoteSession:
@@ -180,11 +191,17 @@ class AsyncRemoteClient:
         The server endpoint.
     tenant:
         Tenant namespace; streams of different tenants never collide.
+    retry:
+        The :class:`~repro.chaos.retry.RetryPolicy` governing
+        reconnects: attempt budget, exponential backoff with full
+        jitter, per-operation timeout and overall deadline.  The
+        default rides out a server restart with ``--recover``.
+        Connection-level failures retry; semantic failures (wrong key,
+        protocol violations, server-reported errors) fail fast.
     reconnect_attempts, reconnect_delay:
-        How long a lost connection is retried before giving up:
-        ``reconnect_attempts`` dials ``reconnect_delay`` seconds apart
-        (generous defaults ride out a server restart with
-        ``--recover``).
+        Legacy knobs kept for compatibility: when given (and ``retry``
+        is not), they shape an equivalent policy via
+        :meth:`RetryPolicy.legacy`.
     push_items:
         Maximum items per PUSH frame; larger chunks are split and
         pipelined inside the server's credit window.
@@ -201,8 +218,9 @@ class AsyncRemoteClient:
     """
 
     def __init__(self, host: str, port: int, *, tenant: str = "default",
-                 reconnect_attempts: int = 40,
-                 reconnect_delay: float = 0.25,
+                 retry: "RetryPolicy | None" = None,
+                 reconnect_attempts: "int | None" = None,
+                 reconnect_delay: "float | None" = None,
                  push_items: int = 4096,
                  transport: str = "tcp",
                  wire: "int | str" = protocol.MAX_WIRE,
@@ -210,8 +228,11 @@ class AsyncRemoteClient:
         self._host = host
         self._port = int(port)
         self._tenant = tenant
-        self._attempts = max(1, int(reconnect_attempts))
-        self._delay = float(reconnect_delay)
+        if retry is None:
+            retry = RetryPolicy.legacy(
+                40 if reconnect_attempts is None else reconnect_attempts,
+                0.25 if reconnect_delay is None else reconnect_delay)
+        self._retry = retry
         self._push_items = max(1, int(push_items))
         self._max_frame_bytes = int(max_frame_bytes)
         self._transport_name = transport
@@ -255,8 +276,11 @@ class AsyncRemoteClient:
             try:
                 await self._send({"type": "bye"})
                 # The server's goodbye surfaces as ConnectionResetError.
-                await self._read()
-            except _CONNECTION_ERRORS + (RemoteError,):
+                # Cap the wait: a goodbye lost in flight must not stall
+                # shutdown for the full op timeout.
+                await self._read(timeout=2.0)
+            except _CONNECTION_ERRORS + _TIMEOUT_ERRORS + (RemoteError,
+                                                           ProtocolError):
                 pass
             await self._drop_transport()
 
@@ -276,8 +300,14 @@ class AsyncRemoteClient:
                 frame = await self._expect("status")
             except _CONNECTION_ERRORS:
                 await self._reconnect()
-                await self._send({"type": "status"})
-                frame = await self._expect("status")
+                try:
+                    await self._send({"type": "status"})
+                    frame = await self._expect("status")
+                except _CONNECTION_ERRORS as exc:
+                    # Never leak raw socket errors past the SDK surface.
+                    raise RemoteError(
+                        "connection-lost",
+                        f"connection lost fetching status: {exc}") from exc
             return frame.get("payload", {})
 
     def simulate_crash(self) -> None:
@@ -323,20 +353,42 @@ class AsyncRemoteClient:
         self.negotiated_wire = None
 
     async def _dial(self) -> None:
-        """One connection attempt cycle: dial, handshake, resume streams."""
+        """One reconnect cycle under the retry policy.
+
+        Dials with exponential backoff and full jitter until the
+        handshake (and stream resume) succeeds, the attempt budget runs
+        out, or the policy deadline expires.  Only connection-level
+        errors are retried — a server that *answers* and rejects us
+        (wrong key, protocol violation) propagates immediately.
+        """
+        policy = self._retry
         last_error: "Exception | None" = None
+        loop = asyncio.get_running_loop()
+        started = loop.time()
         # The full retry budget exists to ride out a server restart
         # without losing stream state; with no sessions yet there is no
         # state to protect, so an unreachable server fails fast.
-        attempts = self._attempts if self._sessions \
-            else min(self._attempts, 4)
+        attempts = policy.attempts if self._sessions \
+            else min(policy.attempts, 4)
+        exhausted = f"{attempts} attempts"
         for attempt in range(attempts):
             if attempt:
-                await asyncio.sleep(self._delay)
+                delay = policy.backoff_delay(attempt - 1)
+                if policy.deadline is not None:
+                    remaining = policy.deadline - (loop.time() - started)
+                    if remaining <= 0:
+                        exhausted = f"{policy.deadline:g}s deadline"
+                        break
+                    delay = min(delay, remaining)
+                await asyncio.sleep(delay)
             try:
-                self._channel = await self._transport.connect(
+                connector = self._transport.connect(
                     self._host, self._port,
                     max_bytes=self._max_frame_bytes)
+                if policy.op_timeout is not None:
+                    connector = asyncio.wait_for(connector,
+                                                 policy.op_timeout)
+                self._channel = await connector
                 hello = {"type": "hello",
                          "version": protocol.PROTOCOL_VERSION,
                          "tenant": self._tenant}
@@ -358,13 +410,13 @@ class AsyncRemoteClient:
                 self.negotiated_wire = granted
                 await self._resume_sessions()
                 return
-            except _CONNECTION_ERRORS as exc:
+            except _CONNECTION_ERRORS + _TIMEOUT_ERRORS as exc:
                 last_error = exc
                 await self._drop_transport()
         raise RemoteError(
             "unreachable",
             f"cannot reach {self._host}:{self._port} after "
-            f"{attempts} attempts: {last_error}")
+            f"{exhausted}: {last_error}")
 
     async def _reconnect(self) -> None:
         self.reconnects += 1
@@ -417,21 +469,47 @@ class AsyncRemoteClient:
         self.frames_sent += 1
         await self._channel.write_message(body)
 
-    async def _read(self) -> dict:
+    async def _read(self, timeout: "float | None" = None) -> dict:
         """Read one frame; apply CREDIT grants, raise ERROR / BYE.
 
         CREDIT frames are returned (already applied) so callers waiting
         on the credit window can notice them; ERROR frames become
         :class:`RemoteError`, BYE and EOF become a lost connection.
+
+        Wire-level damage — a truncated or undecodable frame, or a
+        server silent past the policy's per-operation timeout — is
+        converted to :class:`ConnectionResetError` here, at the channel
+        boundary: to the resume machinery it *is* a lost connection,
+        and classifying it here keeps raw transport exceptions from
+        leaking to callers.  Semantic :class:`ProtocolError`\\ s raised
+        above this boundary (unexpected frame types on a healthy link)
+        stay fatal.
         """
         if self._channel is None:
             raise ConnectionResetError("not connected")
-        body = await self._channel.read_message()
+        if timeout is None:
+            timeout = self._retry.op_timeout
+        try:
+            reader = self._channel.read_message()
+            if timeout is not None:
+                reader = asyncio.wait_for(reader, timeout)
+            body = await reader
+        except ProtocolError as exc:
+            # The peer died mid-message (or sent garbage): wire damage.
+            raise ConnectionResetError(f"wire damage: {exc}") from exc
+        except _TIMEOUT_ERRORS as exc:
+            raise ConnectionResetError(
+                f"server silent for {timeout:g}s (op timeout)") from exc
         if body is None:
             raise ConnectionResetError("server closed the connection")
         self.bytes_received += len(body)
         self.frames_received += 1
-        frame = self._codec.decode(body, source="server")
+        try:
+            frame = self._codec.decode(body, source="server")
+        except ProtocolError as exc:
+            # An undecodable body on an intact transport message: the
+            # frame was torn in flight — same recovery as a dead link.
+            raise ConnectionResetError(f"wire damage: {exc}") from exc
         if frame["type"] == "credit":
             stream_id = frame["stream_id"]
             self._credits[stream_id] = \
@@ -539,7 +617,14 @@ class AsyncRemoteClient:
                 # before the drop, and the server falls through to a
                 # fresh registration when the stream exists nowhere.
                 await self._reconnect()
-                await self._open(session, resume=True)
+                try:
+                    await self._open(session, resume=True)
+                except _CONNECTION_ERRORS as exc:
+                    # Never leak raw socket errors past the SDK surface.
+                    raise RemoteError(
+                        "connection-lost",
+                        f"connection lost opening stream "
+                        f"{stream_id!r}: {exc}") from exc
             self._sessions[stream_id] = session
         return session
 
@@ -696,7 +781,15 @@ class RemoteClient:
             # retrying construction would accumulate one per attempt).
             self._loop.call_soon_threadsafe(self._loop.stop)
             self._thread.join(timeout=5)
-            self._loop.close()
+            if self._thread.is_alive():  # pragma: no cover - wedged loop
+                # The connect error is already propagating; closing a
+                # still-running loop would mask it, so just shout.
+                logger.error(
+                    "client loop thread %s did not stop within 5s; "
+                    "a background thread is leaking",
+                    self._thread.name)
+            else:
+                self._loop.close()
             raise
 
     def _call(self, coroutine):
@@ -744,7 +837,13 @@ class RemoteClient:
             self._async.detect(stream_id, wm_length, key, **options)))
 
     def close(self) -> None:
-        """Say goodbye, close the transport and stop the loop thread."""
+        """Say goodbye, close the transport and stop the loop thread.
+
+        Raises :class:`~repro.errors.ReproError` if the loop thread
+        fails to stop within the join timeout — a silent return here
+        would leak a live thread (and its event loop) while looking
+        exactly like a clean shutdown.
+        """
         if self._loop.is_closed():
             return
         try:
@@ -752,6 +851,13 @@ class RemoteClient:
         finally:
             self._loop.call_soon_threadsafe(self._loop.stop)
             self._thread.join(timeout=5)
+            if self._thread.is_alive():  # pragma: no cover - wedged loop
+                logger.error(
+                    "client loop thread %s did not stop within 5s",
+                    self._thread.name)
+                raise ReproError(
+                    "client loop thread did not stop within 5s; a "
+                    "background thread is still running (not closed)")
             self._loop.close()
 
 

@@ -56,6 +56,7 @@ from __future__ import annotations
 
 import asyncio
 import hashlib
+import logging
 import time
 from collections import deque
 from pathlib import Path
@@ -72,6 +73,8 @@ from repro.server import protocol
 from repro.server.transports import (Listener, TransportConnection,
                                      build_transport)
 from repro.stores import build_store
+
+logger = logging.getLogger("repro.server.service")
 
 #: Default per-stream credit grant (outstanding PUSH frames).
 DEFAULT_CREDITS = 4
@@ -206,6 +209,13 @@ class StreamService:
         --status-interval`` JSON log line).
     status_sink:
         Callable receiving each periodic :meth:`status_snapshot` dict.
+    fault_injector:
+        Optional :class:`~repro.chaos.FaultInjector` (``repro serve
+        --chaos``): wraps the listening transport and the per-tenant
+        session stores with the chaos wrappers and arms the plan's
+        process-crash gates inside the push path.  The replay sidecar
+        stores stay unwrapped — they model the service's own metadata,
+        not the failure domain under test.
     """
 
     def __init__(self, *, host: str = "127.0.0.1", port: int = 0,
@@ -221,13 +231,21 @@ class StreamService:
                  max_frame_bytes: int = protocol.MAX_FRAME_BYTES,
                  metrics: "MetricsRegistry | None" = None,
                  status_interval: "float | None" = None,
-                 status_sink=None) -> None:
+                 status_sink=None,
+                 fault_injector=None) -> None:
         if credits < 1:
             raise ReproError(f"credits must be >= 1, got {credits}")
         self._host = host
         self._port = port
         self._transport_name = transport
         self._transport = build_transport(transport)
+        self._fault_injector = fault_injector
+        if fault_injector is not None \
+                and fault_injector.plan.server_transport.active():
+            from repro.chaos.wrappers import ChaosTransport
+            self._transport = ChaosTransport(
+                inner=self._transport, injector=fault_injector,
+                side="server")
         self._max_wire = protocol.resolve_wire(max_wire)
         self._store_path = Path(store_path) if store_path is not None else None
         self._store_backend = store_backend
@@ -272,6 +290,16 @@ class StreamService:
         m = self.metrics
         self._m_connections_total = m.counter("server_connections_total")
         self._m_credit_stalls = m.counter("server_credit_stalls_total")
+        self._m_checkpoint_failures = m.counter(
+            "server_checkpoint_failures_total")
+        m.gauge_callback(
+            "server_store_fallbacks",
+            lambda: sum(self._store_stat(hub, "fallbacks")
+                        for hub in self._hubs.values()))
+        m.gauge_callback(
+            "server_store_quarantined",
+            lambda: sum(self._store_stat(hub, "quarantined")
+                        for hub in self._hubs.values()))
         m.gauge_callback("server_connections", lambda: len(self._connections))
         m.gauge_callback("server_tenants", lambda: len(self._hubs))
         m.gauge_callback("server_replay_buffer_chunks",
@@ -447,6 +475,13 @@ class StreamService:
                 found[unquote(entry.name)] = list(ids)
         return found
 
+    @staticmethod
+    def _store_stat(hub: StreamHub, name: str) -> int:
+        """A durability counter off the hub's store (chaos-unwrapped)."""
+        store = hub.store
+        store = getattr(store, "inner", store)
+        return int(getattr(store, name, 0))
+
     def hub_for(self, tenant: str) -> StreamHub:
         """The tenant's hub, created (with its stores) on first use.
 
@@ -472,6 +507,11 @@ class StreamService:
             else:
                 store = build_store("memory")
                 meta = build_store("memory")
+            if self._fault_injector is not None \
+                    and self._fault_injector.plan.store.active():
+                from repro.chaos.wrappers import ChaosCheckpointStore
+                store = ChaosCheckpointStore(store, self._fault_injector,
+                                             site=f"store.{tenant}")
             hub = StreamHub(store=store, checkpoint_every=0,
                             max_live_sessions=self._max_live,
                             checkpoint_hook=lambda stream_id, _t=tenant:
@@ -905,6 +945,11 @@ class StreamService:
         self._note_ack(claim, int(frame.get("delivered", 0)))
         values = frame["values"]
         connection.credits[stream_id] -= 1
+        if self._fault_injector is not None:
+            # Chaos crash gates: the plan may kill the process here
+            # (before ingestion), after ingestion, or after delivery —
+            # the three windows with distinct recovery obligations.
+            self._fault_injector.crash_gate("pre-ingest")
         try:
             out = connection.hub.push(stream_id, values)
         except ReproError:
@@ -916,6 +961,8 @@ class StreamService:
                                    "stream_id": stream_id, "credits": 1})
             raise
         self.pushes += 1
+        if self._fault_injector is not None:
+            self._fault_injector.crash_gate("post-ingest")
         offsets = connection.hub.offsets(stream_id)
         # Buffer before sending: if the transport dies mid-send, the
         # release-time checkpoint persists these outputs for redelivery.
@@ -931,13 +978,29 @@ class StreamService:
         await connection.send_many([result, {"type": "credit",
                                              "stream_id": stream_id,
                                              "credits": 1}])
+        if self._fault_injector is not None:
+            self._fault_injector.crash_gate("post-delivery")
         # The service owns the checkpoint cadence, *after* the result
         # reached the transport — a checkpoint between ingestion and
         # delivery would strand the released outputs on a crash.
         self._push_counts[claim] = self._push_counts.get(claim, 0) + 1
         if self._checkpoint_every \
                 and self._push_counts[claim] % self._checkpoint_every == 0:
-            connection.hub.checkpoint(stream_id)
+            try:
+                connection.hub.checkpoint(stream_id)
+            except ReproError as exc:
+                # A failed cadence checkpoint loses durability, not
+                # correctness: the stream stays live and a later save
+                # (or crash recovery from the previous generation)
+                # covers the gap.  Count it, shout, and keep serving —
+                # surfacing it as a stream error would kill a healthy
+                # stream over a transient disk hiccup.
+                self.errors += 1
+                self._m_checkpoint_failures.inc()
+                logger.warning(
+                    "checkpoint for %s/%s failed (serving continues, "
+                    "durability lags one cadence): %s",
+                    connection.tenant, stream_id, exc)
 
     async def _on_flush(self, connection: _Connection, frame: dict) -> None:
         hub = connection.hub

@@ -33,13 +33,17 @@ from __future__ import annotations
 
 import abc
 import json
+import logging
 import os
+import shutil
 import tempfile
 from pathlib import Path
 from urllib.parse import quote, unquote
 
 from repro.errors import CheckpointStoreError
 from repro.registry import REGISTRY
+
+logger = logging.getLogger("repro.stores")
 
 _STORE_VERSION = 1
 _ENTRY_KIND = "hub-checkpoint"
@@ -261,10 +265,29 @@ class DirectoryCheckpointStore(CheckpointStore):
     checkpoint or the new complete checkpoint, never a torn write.
     Stream ids are percent-encoded (``urllib.parse.quote`` with no safe
     characters), so ids containing separators or unicode round-trip.
+
+    **Generations.**  The store keeps the last ``generations - 1``
+    superseded checkpoints per stream as ``<name>.json.1`` (newest
+    old) … ``<name>.json.N`` (oldest).  When the latest entry turns out
+    corrupt — a torn write that slipped past the atomic rename (bad
+    disk, injected fault) — :meth:`entry` quarantines the damaged file
+    to ``<dir>/corrupt/``, promotes the newest intact generation back
+    to latest, and returns it, counting the event in
+    :attr:`fallbacks`/:attr:`quarantined` and logging loudly.  Callers
+    observe a *valid but older* checkpoint, which the serving layer
+    already treats like a crash-rewind: the client replays the gap, so
+    exactly-once delivery holds.  With ``generations=1`` (or no intact
+    generation left) corruption raises, as before.
     """
 
-    def __init__(self, path: "str | Path", *, create: bool = True) -> None:
+    def __init__(self, path: "str | Path", *, create: bool = True,
+                 generations: int = 3) -> None:
         self._dir = Path(path)
+        self._generations = max(1, int(generations))
+        #: Times ``entry()`` fell back to an older generation.
+        self.fallbacks = 0
+        #: Corrupt files moved aside to ``<dir>/corrupt/``.
+        self.quarantined = 0
         if self._dir.exists() and not self._dir.is_dir():
             raise CheckpointStoreError(
                 f"checkpoint store path {self._dir} exists and is not "
@@ -282,8 +305,41 @@ class DirectoryCheckpointStore(CheckpointStore):
         """The backing directory."""
         return self._dir
 
+    @property
+    def generations(self) -> int:
+        """How many checkpoints (latest + older) are kept per stream."""
+        return self._generations
+
     def _file_for(self, stream_id: str) -> Path:
         return self._dir / (quote(stream_id, safe="") + ".json")
+
+    def _generation_file(self, stream_id: str, generation: int) -> Path:
+        # Suffixed past ".json" so _ids() never mistakes a generation
+        # for a live entry.
+        return self._dir / (quote(stream_id, safe="")
+                            + f".json.{generation}")
+
+    def _rotate_generations(self, stream_id: str, target: Path) -> None:
+        """Shift old generations up and snapshot the current latest.
+
+        The latest file is *linked* (same inode) into generation 1
+        rather than moved, so there is never an instant without a
+        complete latest entry on disk; the subsequent ``os.replace`` of
+        the new entry then atomically supersedes it.
+        """
+        if self._generations <= 1 or not target.exists():
+            return
+        for generation in range(self._generations - 1, 1, -1):
+            source = self._generation_file(stream_id, generation - 1)
+            if source.exists():
+                os.replace(source, self._generation_file(stream_id,
+                                                         generation))
+        newest = self._generation_file(stream_id, 1)
+        try:
+            newest.unlink(missing_ok=True)
+            os.link(target, newest)
+        except OSError:  # pragma: no cover - filesystems without links
+            shutil.copyfile(target, newest)
 
     def _put(self, stream_id: str, text: str) -> None:
         """Atomically replace the stream's file with the new entry."""
@@ -294,6 +350,7 @@ class DirectoryCheckpointStore(CheckpointStore):
                 handle.write(text)
                 handle.flush()
                 os.fsync(handle.fileno())
+            self._rotate_generations(stream_id, target)
             os.replace(tmp_name, target)
         except OSError as exc:
             raise CheckpointStoreError(
@@ -315,6 +372,90 @@ class DirectoryCheckpointStore(CheckpointStore):
         finally:
             os.close(dir_fd)
 
+    # -- corruption recovery ---------------------------------------------
+    def _quarantine(self, path: Path) -> Path:
+        """Move a damaged file into ``<dir>/corrupt/`` (kept for
+        forensics); returns the quarantine destination."""
+        corrupt_dir = self._dir / "corrupt"
+        corrupt_dir.mkdir(exist_ok=True)
+        destination = corrupt_dir / path.name
+        counter = 0
+        while destination.exists():
+            counter += 1
+            destination = corrupt_dir / f"{path.name}.{counter}"
+        os.replace(path, destination)
+        self.quarantined += 1
+        return destination
+
+    def _fall_back(self, stream_id: str,
+                   error: CheckpointStoreError) -> dict:
+        """Quarantine the corrupt latest and promote the newest intact
+        generation; raises the original error when none survives.
+
+        The latest file is only moved aside once an intact generation
+        has been found — otherwise the stream would vanish from the
+        store and an unrecoverable corruption would masquerade as a
+        concurrent delete to callers that re-check membership."""
+        for generation in range(1, self._generations):
+            candidate = self._generation_file(stream_id, generation)
+            try:
+                raw = candidate.read_text()
+            except FileNotFoundError:
+                continue
+            except OSError:  # pragma: no cover - unreadable generation
+                continue
+            try:
+                entry = self._decode(raw, stream_id)
+            except CheckpointStoreError:
+                self._quarantine(candidate)
+                continue
+            # Promote: the generation file becomes the latest, and the
+            # ones behind it shift down to close the gap.
+            destination = self._quarantine(self._file_for(stream_id))
+            os.replace(candidate, self._file_for(stream_id))
+            for follower in range(generation + 1, self._generations):
+                source = self._generation_file(stream_id, follower)
+                if source.exists():
+                    os.replace(source, self._generation_file(
+                        stream_id, follower - generation))
+            self.fallbacks += 1
+            logger.error(
+                "checkpoint for %r was corrupt (%s); quarantined to %s "
+                "and fell back to generation %d (sequence %d) — the "
+                "stream will rewind and replay",
+                stream_id, error, destination, generation,
+                entry["sequence"])
+            return entry
+        logger.error(
+            "checkpoint for %r is corrupt (%s) and no intact generation "
+            "remains; the damaged file is left in place", stream_id,
+            error)
+        raise error
+
+    def entry(self, stream_id: str) -> dict:
+        """The latest intact envelope, falling back a generation when
+        the newest file is corrupt (see class docstring)."""
+        try:
+            return super().entry(stream_id)
+        except CheckpointStoreError as error:
+            if self._generations <= 1 \
+                    or not self._file_for(stream_id).exists():
+                raise
+            return self._fall_back(stream_id, error)
+
+    def _current_sequence(self, stream_id: str) -> int:
+        raw = self._get(stream_id)
+        if raw is None:
+            return 0
+        try:
+            return self._decode(raw, stream_id)["sequence"]
+        except CheckpointStoreError:
+            # entry() quarantines the damage and recovers the newest
+            # intact generation — or re-raises when there is none
+            # (silently restarting the sequence over garbage would
+            # hide data loss).
+            return self.entry(stream_id)["sequence"]
+
     def _get(self, stream_id: str) -> "str | None":
         """Read the stream's file; absent file means absent entry."""
         if not isinstance(stream_id, str) or not stream_id:
@@ -329,7 +470,7 @@ class DirectoryCheckpointStore(CheckpointStore):
             ) from exc
 
     def _discard(self, stream_id: str) -> bool:
-        """Unlink the stream's file."""
+        """Unlink the stream's file (and its retained generations)."""
         try:
             self._file_for(stream_id).unlink()
         except FileNotFoundError:
@@ -338,6 +479,13 @@ class DirectoryCheckpointStore(CheckpointStore):
             raise CheckpointStoreError(
                 f"cannot delete checkpoint for {stream_id!r}: {exc}"
             ) from exc
+        for generation in range(1, self._generations):
+            try:
+                self._generation_file(stream_id, generation).unlink()
+            except FileNotFoundError:
+                pass
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
         return True
 
     def _ids(self) -> "list[str]":

@@ -509,3 +509,134 @@ class TestObservabilityCommands:
         code = main(["hub", "status", str(store_path), "--json"])
         assert code == 0
         assert capsys.readouterr().out == ""
+
+
+class TestChaosAndSuperviseCommands:
+    """`repro supervise`, `--chaos` plumbing and the `--retry-*` flags."""
+
+    def test_supervise_builds_the_serve_command(self, monkeypatch,
+                                                capsys):
+        """Flag parsing lands in a correctly-shaped Supervisor without
+        actually spawning anything."""
+        import sys
+
+        import repro.chaos.supervisor as supervisor_module
+
+        seen = {}
+
+        def fake_run(self):
+            seen["command"] = self._command
+            seen["restart_args"] = self._restart_args
+            seen["max_restarts"] = self._max_restarts
+            seen["window"] = self._restart_window
+            return 0
+
+        monkeypatch.setattr(supervisor_module.Supervisor, "run",
+                            fake_run)
+        code = main(["supervise", "--max-restarts", "7",
+                     "--restart-window", "120", "--backoff-base", "0.1",
+                     "--", "--port", "7000", "--store", "some-store"])
+        assert code == 0
+        assert seen["command"] == [sys.executable, "-m", "repro",
+                                   "serve", "--port", "7000",
+                                   "--store", "some-store"]
+        assert seen["restart_args"] == ["--recover"]
+        assert seen["max_restarts"] == 7
+        assert seen["window"] == 120.0
+
+    def test_supervise_propagates_the_run_exit_code(self, monkeypatch):
+        import repro.chaos.supervisor as supervisor_module
+
+        monkeypatch.setattr(supervisor_module.Supervisor, "run",
+                            lambda self: 3)
+        assert main(["supervise", "--", "--port", "7000"]) == 3
+
+    def test_loadgen_dead_target_is_one_clean_line(self, capsys):
+        """An unreachable external endpoint exits 2 with one error
+        line — not a pile of per-worker tracebacks (satellite S3)."""
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()  # nothing listens here now
+        code = main(["loadgen", "--host", "127.0.0.1",
+                     "--port", str(port), "--workers", "2",
+                     "--pushes", "2", "--retry-attempts", "2",
+                     "--retry-deadline", "2"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert len(err.strip().splitlines()) == 1
+        assert "not usable" in err
+        assert f"127.0.0.1:{port}" in err
+
+    def test_retry_flags_reach_the_worker_clients(self, tmp_path,
+                                                  capsys):
+        """--retry-* flags produce a working policy end to end."""
+        code = main(["loadgen", "--workers", "1", "--pushes", "2",
+                     "--chunk", "64", "--crash-every", "0",
+                     "--retry-attempts", "5", "--retry-base-delay",
+                     "0.01", "--retry-max-delay", "0.1",
+                     "--retry-deadline", "10",
+                     "--retry-op-timeout", "10"])
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["verify_failures"] == 0
+        assert summary["worker_errors"] == []
+
+    def test_retry_policy_defaults_fill_unset_flags(self):
+        import argparse
+
+        from repro.chaos import RetryPolicy
+        from repro.cli import _retry_policy
+
+        bare = argparse.Namespace(retry_attempts=None,
+                                  retry_base_delay=None,
+                                  retry_max_delay=None,
+                                  retry_deadline=None,
+                                  retry_op_timeout=None)
+        assert _retry_policy(bare) is None
+
+        partial = argparse.Namespace(retry_attempts=7,
+                                     retry_base_delay=None,
+                                     retry_max_delay=None,
+                                     retry_deadline=None,
+                                     retry_op_timeout=None)
+        policy = _retry_policy(partial)
+        assert policy.attempts == 7
+        assert policy.base_delay == RetryPolicy().base_delay
+        assert policy.deadline == RetryPolicy().deadline
+
+    def test_serve_missing_chaos_plan_is_clean_error(self, tmp_path,
+                                                     capsys):
+        code = main(["serve", "--port", "0",
+                     "--chaos", str(tmp_path / "no-plan.json")])
+        assert code == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_loadgen_chaos_plan_drives_client_faults(self, tmp_path,
+                                                     capsys):
+        """--chaos wraps the dialing transport: the run completes with
+        zero verify failures even though injected faults fired."""
+        import repro.chaos as chaos
+
+        plan = chaos.FaultPlan(
+            seed=7,
+            client_transport=chaos.TransportFaults(reset_rate=0.05))
+        plan_path = tmp_path / "plan.json"
+        plan.dump(plan_path)
+        try:
+            code = main(["loadgen", "--workers", "2", "--pushes", "4",
+                         "--chunk", "64", "--crash-every", "0",
+                         "--chaos", str(plan_path),
+                         "--retry-attempts", "50",
+                         "--retry-base-delay", "0.01",
+                         "--retry-max-delay", "0.1",
+                         "--retry-deadline", "60"])
+        finally:
+            chaos.uninstall()
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["transport"] == "chaos"
+        assert summary["verify_failures"] == 0
+        assert summary["worker_errors"] == []

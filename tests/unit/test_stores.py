@@ -98,7 +98,8 @@ class TestDirectoryBackend:
         for i in range(5):
             store.save("s1", dict(STATE, i=i))
         leftovers = [p for p in tmp_path.iterdir()
-                     if not p.name.endswith(".json")]
+                     if not p.name.endswith(".json")
+                     and not p.name.rsplit(".", 1)[-1].isdigit()]
         assert leftovers == []
 
     def test_envelope_written_to_disk(self, tmp_path):
@@ -194,6 +195,182 @@ class TestCorruptEntries:
         (dir_store.path / "s1.json").write_text("{")
         with pytest.raises(CheckpointStoreError):
             dir_store.save("s1", STATE)
+
+
+class TestGenerations:
+    """The last-good-checkpoint ladder: rotation, fallback, quarantine."""
+
+    def test_generations_accumulate_up_to_the_cap(self, tmp_path):
+        store = DirectoryCheckpointStore(tmp_path, generations=3)
+        for i in range(1, 6):
+            store.save("s", dict(STATE, n=i))
+        latest = json.loads((tmp_path / "s.json").read_text())
+        gen1 = json.loads((tmp_path / "s.json.1").read_text())
+        gen2 = json.loads((tmp_path / "s.json.2").read_text())
+        assert (latest["sequence"], gen1["sequence"],
+                gen2["sequence"]) == (5, 4, 3)
+        assert not (tmp_path / "s.json.3").exists()
+
+    def test_generation_files_are_invisible_to_ids(self, tmp_path):
+        store = DirectoryCheckpointStore(tmp_path, generations=3)
+        for i in range(4):
+            store.save("s", dict(STATE, n=i))
+        assert store.ids() == ("s",)
+        assert len(store) == 1
+
+    def test_corrupt_latest_falls_back_and_quarantines(self, tmp_path):
+        store = DirectoryCheckpointStore(tmp_path, generations=3)
+        for i in range(1, 4):
+            store.save("s", dict(STATE, n=i))
+        (tmp_path / "s.json").write_text('{"kind": "hub-ch')  # torn
+        entry = store.entry("s")
+        assert entry["sequence"] == 2
+        assert entry["state"]["n"] == 2
+        assert store.fallbacks == 1
+        assert store.quarantined == 1
+        quarantined = list((tmp_path / "corrupt").iterdir())
+        assert [p.name for p in quarantined] == ["s.json"]
+        # The promoted generation IS the latest now; a fresh store sees
+        # a normal, intact entry and the sequence resumes from it.
+        fresh = DirectoryCheckpointStore(tmp_path, generations=3)
+        assert fresh.load("s")["n"] == 2
+        assert fresh.save("s", dict(STATE, n=9)) == 3
+
+    def test_all_generations_corrupt_still_raises(self, tmp_path):
+        store = DirectoryCheckpointStore(tmp_path, generations=3)
+        for i in range(1, 4):
+            store.save("s", dict(STATE, n=i))
+        for name in ("s.json", "s.json.1", "s.json.2"):
+            (tmp_path / name).write_text("{garbage")
+        with pytest.raises(CheckpointStoreError, match="not valid JSON"):
+            store.entry("s")
+        assert store.fallbacks == 0
+        # The damaged generations were moved aside, but the latest is
+        # left in place: the stream stays visibly present-and-corrupt
+        # instead of masquerading as deleted.
+        assert store.quarantined == 2
+        assert (tmp_path / "s.json").exists()
+        assert "s" in store
+
+    def test_single_generation_store_keeps_old_semantics(self, tmp_path):
+        store = DirectoryCheckpointStore(tmp_path, generations=1)
+        store.save("s", dict(STATE, n=1))
+        store.save("s", dict(STATE, n=2))
+        assert not (tmp_path / "s.json.1").exists()
+        (tmp_path / "s.json").write_text("{")
+        with pytest.raises(CheckpointStoreError):
+            store.load("s")
+
+    def test_save_over_corrupt_latest_recovers_sequence(self, tmp_path):
+        """With a generation behind it, saving over a corrupt latest
+        recovers the sequence from the fallback instead of raising."""
+        store = DirectoryCheckpointStore(tmp_path, generations=3)
+        store.save("s", dict(STATE, n=1))
+        store.save("s", dict(STATE, n=2))
+        (tmp_path / "s.json").write_text("{")
+        assert store.save("s", dict(STATE, n=3)) == 2  # resumes after 1
+        assert store.load("s")["n"] == 3
+
+    def test_delete_removes_generations_too(self, tmp_path):
+        store = DirectoryCheckpointStore(tmp_path, generations=3)
+        for i in range(4):
+            store.save("s", dict(STATE, n=i))
+        store.delete("s")
+        leftovers = [p.name for p in tmp_path.iterdir()
+                     if p.name.startswith("s.json")]
+        assert leftovers == []
+
+
+class _Killed(BaseException):
+    """Simulates the process dying at an exact point (not an OSError,
+    so the store's own error handling cannot intercept it)."""
+
+
+class TestCrashWindows:
+    """Kill the writer inside `_put`'s two crash windows and prove the
+    prior generation survives, bit-identical, for recovery."""
+
+    def _seeded(self, tmp_path):
+        store = DirectoryCheckpointStore(tmp_path, generations=3)
+        store.save("s", dict(STATE, n=1))
+        store.save("s", dict(STATE, n=2))
+        return store, (tmp_path / "s.json").read_bytes()
+
+    def test_kill_between_payload_fsync_and_replace(self, tmp_path,
+                                                    monkeypatch):
+        """Window 1: the new entry is written and fsynced to the temp
+        file, but the rename never happens.  The latest on disk must
+        still be the previous complete checkpoint, byte for byte."""
+        import repro.stores as stores_module
+
+        store, before = self._seeded(tmp_path)
+        real_replace = os.replace
+
+        def dying_replace(src, dst, *args, **kwargs):
+            if str(src).endswith(".tmp") and str(dst).endswith("s.json"):
+                raise _Killed()
+            return real_replace(src, dst, *args, **kwargs)
+
+        monkeypatch.setattr(stores_module.os, "replace", dying_replace)
+        with pytest.raises(_Killed):
+            store.save("s", dict(STATE, n=3))
+        monkeypatch.undo()
+
+        assert (tmp_path / "s.json").read_bytes() == before
+        recovered = DirectoryCheckpointStore(tmp_path, generations=3)
+        assert recovered.load("s")["n"] == 2
+        assert recovered.entry("s")["sequence"] == 2
+        # Recovery continues exactly where the last durable save ended.
+        assert recovered.save("s", dict(STATE, n=3)) == 3
+
+    def test_kill_between_replace_and_directory_fsync(self, tmp_path,
+                                                      monkeypatch):
+        """Window 2: the rename landed but the directory fsync did not.
+        The new entry is readable and the previous one survives as
+        generation 1 — no window ever has zero intact checkpoints."""
+        import repro.stores as stores_module
+
+        store, before = self._seeded(tmp_path)
+        real_fsync = os.fsync
+        calls = {"n": 0}
+
+        def dying_fsync(fd):
+            calls["n"] += 1
+            if calls["n"] == 2:  # 1st: payload fd; 2nd: directory fd
+                raise _Killed()
+            return real_fsync(fd)
+
+        monkeypatch.setattr(stores_module.os, "fsync", dying_fsync)
+        with pytest.raises(_Killed):
+            store.save("s", dict(STATE, n=3))
+        monkeypatch.undo()
+
+        recovered = DirectoryCheckpointStore(tmp_path, generations=3)
+        assert recovered.load("s")["n"] == 3
+        assert (tmp_path / "s.json.1").read_bytes() == before
+        assert recovered.save("s", dict(STATE, n=4)) == 4
+
+    def test_kill_during_rotation_leaves_an_intact_latest(self, tmp_path,
+                                                          monkeypatch):
+        """Window 0: dying while generations shift must never remove
+        the latest entry (rotation links, it does not move)."""
+        import repro.stores as stores_module
+
+        store, before = self._seeded(tmp_path)
+        real_link = os.link
+
+        def dying_link(src, dst, *args, **kwargs):
+            raise _Killed()
+
+        monkeypatch.setattr(stores_module.os, "link", dying_link)
+        with pytest.raises(_Killed):
+            store.save("s", dict(STATE, n=3))
+        monkeypatch.undo()
+        assert real_link is os.link
+
+        assert (tmp_path / "s.json").read_bytes() == before
+        recovered = DirectoryCheckpointStore(tmp_path, generations=3)
+        assert recovered.load("s")["n"] == 2
 
 
 class TestStreamIdFuzz:

@@ -1,0 +1,225 @@
+"""Supervisor: restart loop, backoff, circuit breaker, clean stop.
+
+Children are tiny ``python -c`` scripts driven through counter files in
+``tmp_path``, so every state transition of the supervision loop —
+clean exit, crash-then-recover, crash loop, signal-forwarded drain —
+is exercised against real processes with real exit codes.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.chaos import GIVE_UP_EXIT, Supervisor, supervise_serve
+from repro.errors import ParameterError
+
+
+def _python(code: str) -> "list[str]":
+    return [sys.executable, "-c", code]
+
+
+def _supervisor(command, events, **options):
+    options.setdefault("backoff_base", 0.01)
+    options.setdefault("backoff_max", 0.02)
+    return Supervisor(command, emit=events.append, **options)
+
+
+class TestLifecycle:
+    def test_clean_exit_stops_supervision(self):
+        events = []
+        supervisor = _supervisor(_python("raise SystemExit(0)"), events)
+        assert supervisor.run() == 0
+        assert supervisor.state == "stopped"
+        assert supervisor.restarts == 0
+        actions = [e["action"] for e in events]
+        assert actions == ["start", "exit", "stopped"]
+        assert events[1]["returncode"] == 0
+
+    def test_crash_then_recover_restarts_until_success(self, tmp_path):
+        """Child fails twice, then succeeds: two restarts, backoff
+        between them, and the run still ends with exit code 0."""
+        counter = tmp_path / "lives"
+        code = (f"import pathlib; p = pathlib.Path({str(counter)!r}); "
+                "n = int(p.read_text()) if p.exists() else 0; "
+                "p.write_text(str(n + 1)); "
+                "raise SystemExit(0 if n >= 2 else 1)")
+        events = []
+        supervisor = _supervisor(_python(code), events, max_restarts=10)
+        assert supervisor.run() == 0
+        assert supervisor.restarts == 2
+        actions = [e["action"] for e in events]
+        assert actions.count("start") == 3
+        assert actions.count("backoff") == 2
+        assert actions[-1] == "stopped"
+        exit_codes = [e["returncode"] for e in events
+                      if e["action"] == "exit"]
+        assert exit_codes == [1, 1, 0]
+
+    def test_restart_args_appended_only_on_restarts(self, tmp_path):
+        """The first launch runs the plain command; every restart adds
+        the restart args exactly once (the --recover contract)."""
+        log = tmp_path / "argv.jsonl"
+        counter = tmp_path / "lives"
+        code = (
+            "import json, pathlib, sys; "
+            f"pathlib.Path({str(log)!r}).open('a').write("
+            "json.dumps(sys.argv[1:]) + '\\n'); "
+            f"p = pathlib.Path({str(counter)!r}); "
+            "n = int(p.read_text()) if p.exists() else 0; "
+            "p.write_text(str(n + 1)); "
+            "raise SystemExit(0 if n >= 2 else 1)")
+        events = []
+        supervisor = _supervisor(_python(code) + ["--port", "7000"],
+                                 events, restart_args=["--recover"],
+                                 max_restarts=10)
+        assert supervisor.run() == 0
+        argvs = [json.loads(line) for line in
+                 log.read_text().splitlines()]
+        assert argvs[0] == ["--port", "7000"]
+        assert argvs[1:] == [["--port", "7000", "--recover"]] * 2
+
+    def test_crash_loop_trips_the_circuit_breaker(self):
+        events = []
+        supervisor = _supervisor(_python("raise SystemExit(9)"), events,
+                                 max_restarts=2, restart_window=60.0)
+        assert supervisor.run() == GIVE_UP_EXIT
+        assert supervisor.state == "gave-up"
+        actions = [e["action"] for e in events]
+        # max_restarts=2 allows two restarts: 3 starts, then give-up.
+        assert actions.count("start") == 3
+        assert actions[-1] == "give-up"
+        assert events[-1]["recent_restarts"] == 2
+
+    def test_backoff_grows_exponentially_to_the_cap(self):
+        events = []
+        supervisor = _supervisor(_python("raise SystemExit(1)"), events,
+                                 backoff_base=0.01, backoff_max=0.04,
+                                 max_restarts=4, restart_window=60.0)
+        supervisor.run()
+        delays = [e["delay"] for e in events if e["action"] == "backoff"]
+        assert delays == [0.01, 0.02, 0.04, 0.04]
+
+
+class TestStopRequests:
+    def test_request_stop_forwards_sigterm_for_a_clean_drain(self):
+        """A child that catches SIGTERM and exits 0 ends supervision
+        with exit code 0 — the drain path, not a restart."""
+        code = ("import signal, sys, time; "
+                "signal.signal(signal.SIGTERM, "
+                "lambda *a: sys.exit(0)); "
+                "print('up', flush=True); time.sleep(30)")
+        events = []
+        supervisor = _supervisor(_python(code), events)
+        timer = threading.Timer(0.5, supervisor.request_stop)
+        timer.start()
+        try:
+            started = time.monotonic()
+            assert supervisor.run() == 0
+            assert time.monotonic() - started < 25
+        finally:
+            timer.cancel()
+        assert supervisor.state == "stopped"
+        assert [e["action"] for e in events] == ["start", "exit",
+                                                 "stopped"]
+
+    def test_stop_during_backoff_does_not_restart(self):
+        events = []
+        supervisor = _supervisor(_python("raise SystemExit(1)"), events,
+                                 backoff_base=5.0, backoff_max=5.0,
+                                 max_restarts=10)
+        timer = threading.Timer(0.5, supervisor.request_stop)
+        timer.start()
+        try:
+            started = time.monotonic()
+            assert supervisor.run() == 1
+            # The 5s backoff sleep was cut short by the stop request.
+            assert time.monotonic() - started < 4
+        finally:
+            timer.cancel()
+        assert [e["action"] for e in events].count("start") == 1
+
+    def test_stop_before_nonzero_exit_reports_child_code(self):
+        """A stop requested while the child is dying keeps the child's
+        exit code instead of restarting it."""
+        code = "import time; time.sleep(30)"
+        events = []
+        supervisor = _supervisor(_python(code), events)
+
+        def kill_child():
+            supervisor.request_stop(signal.SIGTERM)
+
+        timer = threading.Timer(0.5, kill_child)
+        timer.start()
+        try:
+            # SIGTERM is forwarded; an uncatching child dies -SIGTERM.
+            assert supervisor.run() == -signal.SIGTERM
+        finally:
+            timer.cancel()
+        assert supervisor.state == "stopped"
+
+
+class TestConstruction:
+    def test_empty_command_rejected(self):
+        with pytest.raises(ParameterError, match="command"):
+            Supervisor([])
+
+    def test_supervise_serve_builds_recover_restarts(self):
+        supervisor = supervise_serve(["--port", "7000"])
+        assert supervisor._command == [sys.executable, "-m", "repro",
+                                       "serve", "--port", "7000"]
+        assert supervisor._restart_args == ["--recover"]
+
+    def test_supervise_serve_does_not_duplicate_recover(self):
+        supervisor = supervise_serve(["--port", "7000", "--recover"])
+        assert supervisor._restart_args == []
+
+    def test_options_are_clamped(self):
+        supervisor = Supervisor(["true"], max_restarts=-5,
+                                restart_window=0.0, backoff_base=-1,
+                                backoff_max=-2)
+        assert supervisor._max_restarts == 0
+        assert supervisor._restart_window == 0.1
+        assert supervisor._backoff_base == 0.0
+        assert supervisor._backoff_max == 0.0
+
+
+class TestCliEntry:
+    def test_repro_supervise_runs_and_restarts(self, tmp_path):
+        """`repro supervise` end to end: a crashing dummy child is
+        restarted with --recover appended, then the breaker opens."""
+        import socket
+
+        # Occupy a port so every serve life dies on bind.
+        blocker = socket.socket()
+        blocker.bind(("127.0.0.1", 0))
+        blocker.listen(1)
+        port = blocker.getsockname()[1]
+        try:
+            result = subprocess.run(
+                [sys.executable, "-m", "repro", "supervise",
+                 "--max-restarts", "1", "--restart-window", "60",
+                 "--backoff-base", "0.01", "--backoff-max", "0.01",
+                 "--", "--port", str(port),
+                 "--store", str(tmp_path / "s")],
+                capture_output=True, text=True, timeout=120)
+        finally:
+            blocker.close()
+        # The address is taken: serve exits non-zero each life, so the
+        # supervisor restarts once and then gives up with exit code 3.
+        assert result.returncode == GIVE_UP_EXIT
+        events = [json.loads(line)
+                  for line in result.stdout.splitlines()
+                  if line.startswith('{"event": "supervisor"')]
+        actions = [e["action"] for e in events]
+        assert actions.count("start") == 2
+        assert actions[-1] == "give-up"
+        restarted = [e for e in events
+                     if e["action"] == "start" and e["restart"]]
+        assert all("--recover" in e["argv"] for e in restarted)
